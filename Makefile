@@ -1,0 +1,29 @@
+# Convenience targets for the Methuselah Flash reproduction.
+
+.PHONY: install test bench experiments experiments-full examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Paper-fidelity benchmark run (4 KB pages, several minutes).
+bench-full:
+	REPRO_PAGE_BYTES=4096 REPRO_CYCLES=3 pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments all
+
+experiments-full:
+	python -m repro.experiments all --page-bytes 4096 --cycles 3
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

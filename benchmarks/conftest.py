@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks default to a reduced page size so the whole suite finishes in a
+few minutes; set ``REPRO_PAGE_BYTES=4096`` (and ``REPRO_CYCLES=5``) for a
+full-fidelity run matching the paper's setup.  Every bench prints the
+regenerated rows (visible with ``pytest -s`` or in the benchmark logs) and
+asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()

@@ -1,0 +1,51 @@
+"""Ablation: v-cell level count (the paper's co-design conclusion).
+
+The conclusion suggests co-designing "the mapping of cell levels to bits"
+with the codes.  V-cells make the level count a free parameter (L levels
+from L-1 page bits, Figs. 6-7); this bench sweeps it for MFC-1/2-1BPC and
+shows taller cells trade rate for dramatically longer lifetime — and
+*increasing* aggregate gain.
+"""
+
+from __future__ import annotations
+
+from repro.core import LifetimeSimulator, MfcScheme
+
+
+def test_bench_ablation_levels(benchmark, config) -> None:
+    level_counts = (2, 4, 8)
+
+    def sweep():
+        results = {}
+        for levels in level_counts:
+            scheme = MfcScheme(
+                "mfc-1/2-1bpc",
+                page_bits=config.page_bits,
+                constraint_length=config.constraint_length,
+                vcell_levels=levels,
+            )
+            result = LifetimeSimulator(scheme, seed=config.seed).run(
+                cycles=config.cycles
+            )
+            results[levels] = (
+                result.lifetime_gain,
+                result.rate,
+                result.aggregate_gain,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("v-cell level ablation (MFC-1/2-1BPC):")
+    for levels, (gain, rate, aggregate) in sorted(results.items()):
+        print(f"  {levels}-level cells: rate {rate:.4f}, lifetime "
+              f"{gain:6.2f}, aggregate {aggregate:.2f}")
+
+    # Lifetime rises steeply with level count ...
+    assert results[4][0] > 2 * results[2][0]
+    assert results[8][0] > 2 * results[4][0]
+    # ... rate falls (1/(2(L-1))) ...
+    assert results[2][1] > results[4][1] > results[8][1]
+    # ... and the aggregate gain still improves: lifetime outpaces the
+    # rate cost (the co-design headroom the paper's conclusion points at).
+    assert results[8][2] > results[4][2] > results[2][2]

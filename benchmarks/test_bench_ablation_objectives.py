@@ -1,0 +1,68 @@
+"""Ablation: the three codeword-selection objectives (paper Section V.A).
+
+The full metric f = l' balances increments; f = 1 only minimizes their
+count; f = 0 accepts any feasible codeword.  Plain waterfall (no coset
+freedom at all) anchors the bottom.  This isolates each heuristic's
+contribution to the headline lifetime.
+"""
+
+from __future__ import annotations
+
+from repro.coding import make_codebook
+from repro.coding.cost import (
+    count_only_metric,
+    feasible_only_metric,
+    methuselah_metric,
+)
+from repro.core import LifetimeSimulator, MfcScheme, WaterfallScheme
+
+METRICS = {
+    "full (f = l')": methuselah_metric,
+    "count-only (f = 1)": count_only_metric,
+    "any-feasible (f = 0)": feasible_only_metric,
+}
+
+
+def test_bench_ablation_objectives(benchmark, config) -> None:
+    def sweep():
+        results = {}
+        for label, metric in METRICS.items():
+            codebook = make_codebook(1, 4, metric=metric)
+            scheme = MfcScheme(
+                "mfc-1/2-1bpc",
+                page_bits=config.page_bits,
+                constraint_length=config.constraint_length,
+                codebook=codebook,
+            )
+            result = LifetimeSimulator(scheme, seed=config.seed).run(
+                cycles=config.cycles
+            )
+            results[label] = result.lifetime_gain
+        waterfall = WaterfallScheme(config.page_bits)
+        results["no coset (waterfall)"] = (
+            LifetimeSimulator(waterfall, seed=config.seed)
+            .run(cycles=config.cycles)
+            .lifetime_gain
+        )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("objective ablation (MFC-1/2-1BPC lifetime gain):")
+    for label, gain in results.items():
+        print(f"  {label:<24} {gain:5.2f}")
+
+    full = results["full (f = l')"]
+    count_only = results["count-only (f = 1)"]
+    feasible = results["any-feasible (f = 0)"]
+    waterfall = results["no coset (waterfall)"]
+
+    # Coset freedom alone is a big step over plain waterfall.
+    assert feasible > waterfall
+
+    # Cost-guided selection beats picking any feasible codeword.
+    assert full > feasible
+    assert count_only > feasible
+
+    # The full metric (with balancing) is at least as good as count-only.
+    assert full >= count_only * 0.95

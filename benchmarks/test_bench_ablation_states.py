@@ -1,0 +1,45 @@
+"""Ablation: trellis state count vs lifetime (paper Section III).
+
+"Increasing the number of states in the state machine provides a bigger set
+of codewords to choose from; therefore allowing greater benefits ... at the
+cost of negligibly lower rates."  We sweep the rate-1/2 constraint length.
+"""
+
+from __future__ import annotations
+
+from repro.core import LifetimeSimulator, MfcScheme
+
+
+def test_bench_ablation_states(benchmark, config) -> None:
+    constraint_lengths = (3, 4, 5, 7)
+
+    def sweep():
+        results = {}
+        for k in constraint_lengths:
+            scheme = MfcScheme(
+                "mfc-1/2-1bpc", page_bits=config.page_bits, constraint_length=k
+            )
+            result = LifetimeSimulator(scheme, seed=config.seed).run(
+                cycles=config.cycles
+            )
+            results[k] = (result.lifetime_gain, scheme.rate)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("state-count ablation (MFC-1/2-1BPC):")
+    for k, (gain, rate) in sorted(results.items()):
+        print(f"  K={k} ({2 ** (k - 1):>2} states): lifetime {gain:5.2f}, "
+              f"rate {rate:.4f}")
+
+    gains = [results[k][0] for k in constraint_lengths]
+    rates = [results[k][1] for k in constraint_lengths]
+
+    # More states help (64-state beats 4-state), never catastrophically hurt.
+    assert results[7][0] >= results[3][0]
+    assert max(gains) - min(gains) < max(gains)  # same order of magnitude
+
+    # The rate cost of more states (longer guard region) is negligible.
+    assert rates[0] - rates[-1] < 0.05
+    for rate in rates:
+        assert abs(rate - 1 / 6) < 0.05

@@ -1,0 +1,46 @@
+"""Extension schemes side by side (beyond the paper's Table I).
+
+Asserts the relationships that make each extension meaningful:
+
+* ECC integration costs rate but barely touches lifetime (Section V.B's
+  "complementary feature" claim, measured);
+* 8-level v-cells push the aggregate gain past the 4-level headline
+  (the conclusion's co-design direction);
+* rank modulation, although runnable through v-cells, is a poor endurance
+  trade (aggregate < 1) — consistent with the paper choosing coset codes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import format_extensions, run_extensions
+
+
+def test_bench_extensions(benchmark, config) -> None:
+    rows = benchmark.pedantic(
+        lambda: run_extensions(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_extensions(rows))
+    by_name = {row.name: row for row in rows}
+
+    plain = by_name["MFC-1/2-1BPC"]
+    tall = by_name["MFC-1/2-1BPC-8L"]
+    ecc = by_name["MFC-1/2-ECC"]
+    rank = by_name["RankMod-4c16L"]
+    waterfall = by_name["Waterfall-4L"]
+
+    # Section V.B, measured: ECC integration preserves most of the
+    # rewriting lifetime while paying rate.
+    assert ecc.lifetime_gain > 0.6 * plain.lifetime_gain
+    assert ecc.rate < plain.rate
+
+    # Co-design: taller cells raise lifetime AND aggregate gain.
+    assert tall.lifetime_gain > 2 * plain.lifetime_gain
+    assert tall.aggregate_gain > plain.aggregate_gain
+
+    # Rank modulation rewrites but is not competitive as an endurance code.
+    assert rank.lifetime_gain > 1
+    assert rank.aggregate_gain < 1
+
+    # And nothing beats having coset freedom.
+    assert plain.lifetime_gain > 3 * waterfall.lifetime_gain

@@ -1,0 +1,30 @@
+"""Fig. 1: equal-cost capacity/lifetime rectangles (intro figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig1_data, format_rectangles
+
+
+def test_bench_fig01(benchmark, config) -> None:
+    rectangles = benchmark.pedantic(
+        lambda: fig1_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_rectangles(rectangles, "Fig. 1"))
+    by_name = {rect.name: rect for rect in rectangles}
+
+    baseline = by_name["Uncoded"]
+    replication = by_name["Redundancy-1/2"]
+    code = by_name["MFC-1/2-1BPC"]
+
+    # The figure's three rectangles: C@L, C/2@2L, ~C/6@12L.
+    assert baseline.capacity_fraction == 1.0 and baseline.lifetime_gain == 1.0
+    assert replication.capacity_fraction == 0.5
+    assert replication.lifetime_gain == 2.0
+    assert code.capacity_fraction == pytest.approx(1 / 6, rel=0.1)
+    assert code.lifetime_gain > 10
+
+    # Equal cost does not imply equal area: the code's area is largest.
+    assert code.area > baseline.area == replication.area

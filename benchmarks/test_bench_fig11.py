@@ -1,0 +1,41 @@
+"""Fig. 11: fixed-cost comparison of MFCs against prior work."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig11_data, format_rectangles
+
+
+def test_bench_fig11(benchmark, config) -> None:
+    rectangles = benchmark.pedantic(
+        lambda: fig11_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_rectangles(rectangles, "Fig. 11"))
+    by_name = {rect.name: rect for rect in rectangles}
+
+    # Observation 1: MFC-1/2 beats redundancy and WOM on aggregate gain.
+    assert by_name["MFC-1/2-1BPC"].area > by_name["WOM"].area
+    assert by_name["MFC-1/2-1BPC"].area > by_name["Redundancy-1/2"].area
+
+    # Observation 2: MFC-1/2-2BPC matches WOM's aggregate gain with a
+    # different capacity/lifetime trade-off.
+    assert by_name["MFC-1/2-2BPC"].area == pytest.approx(
+        by_name["WOM"].area, rel=0.4
+    )
+    assert by_name["MFC-1/2-2BPC"].lifetime_gain > by_name["WOM"].lifetime_gain
+    assert (
+        by_name["MFC-1/2-2BPC"].capacity_fraction
+        < by_name["WOM"].capacity_fraction
+    )
+
+    # Observation 3: same lifetime (2L), different capacities — WOM stores
+    # 2/3 C against redundancy's C/2.
+    assert by_name["WOM"].lifetime_gain == pytest.approx(
+        by_name["Redundancy-1/2"].lifetime_gain, abs=0.5
+    )
+    assert (
+        by_name["WOM"].capacity_fraction
+        > by_name["Redundancy-1/2"].capacity_fraction
+    )

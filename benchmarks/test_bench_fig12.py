@@ -1,0 +1,30 @@
+"""Fig. 12: fixed-cost comparison across all five MFC implementations."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig12_data, format_rectangles
+
+
+def test_bench_fig12(benchmark, config) -> None:
+    rectangles = benchmark.pedantic(
+        lambda: fig12_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_rectangles(rectangles, "Fig. 12"))
+    by_name = {rect.name: rect for rect in rectangles}
+
+    # MFC-1/2-1BPC "stands out from the rest" with the longest lifetime.
+    headline = by_name["MFC-1/2-1BPC"]
+    others = [rect for rect in rectangles if rect.name != "MFC-1/2-1BPC"]
+    assert headline.lifetime_gain > max(rect.lifetime_gain for rect in others)
+    assert headline.lifetime_gain > 1.8 * min(
+        rect.lifetime_gain for rect in others
+    )
+
+    # The rest offer a range of lifetimes (paper: roughly 4 to 7) and a
+    # spread of capacities — i.e. genuinely different trade-off points.
+    lifetimes = sorted(rect.lifetime_gain for rect in others)
+    assert lifetimes[0] >= 3
+    assert lifetimes[-1] <= headline.lifetime_gain
+    capacities = {round(rect.capacity_fraction, 3) for rect in rectangles}
+    assert len(capacities) == 5

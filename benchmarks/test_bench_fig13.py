@@ -1,0 +1,34 @@
+"""Fig. 13: raw-capacity cost to achieve extreme lifetime (gain 12)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig13_data, format_fig13
+
+
+def test_bench_fig13(benchmark, config) -> None:
+    series = benchmark.pedantic(
+        lambda: fig13_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig13(series))
+
+    def cost_at_unit_capacity(name: str) -> float:
+        return dict(series[name])[1.0]
+
+    # The paper's conclusion: higher aggregate gain -> cheaper solution.
+    # MFC-1/2 is the cheapest, redundancy the most expensive.
+    mfc_half = cost_at_unit_capacity("MFC-1/2-1BPC")
+    wom = cost_at_unit_capacity("WOM")
+    redundancy = cost_at_unit_capacity("Redundancy-1/2")
+    mfc_45 = cost_at_unit_capacity("MFC-4/5")
+
+    assert mfc_half < mfc_45
+    assert mfc_half < wom
+    assert wom < redundancy or mfc_45 < redundancy
+    assert redundancy == max(mfc_half, wom, redundancy, mfc_45)
+
+    # Costs scale linearly in the capacity goal for every scheme.
+    for name, points in series.items():
+        costs = dict(points)
+        assert costs[2.0] == 2 * costs[1.0], name
+        assert costs[0.5] == costs[1.0] / 2, name

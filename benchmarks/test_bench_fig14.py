@@ -1,0 +1,37 @@
+"""Fig. 14: lifetime gain as a function of flash page size."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.figures import fig14_data, format_fig14
+
+
+def test_bench_fig14(benchmark, config) -> None:
+    # Sweep up to the configured page size (the paper sweeps to 16 KB).
+    sizes = tuple(
+        size for size in (64, 128, 256, 512, 1024, 2048, 4096)
+        if size <= max(1024, config.page_bytes)
+    )
+    series = benchmark.pedantic(
+        lambda: fig14_data(config, page_bytes_values=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig14(series))
+
+    for name, points in series.items():
+        gains = [gain for _, gain in points]
+        # Smaller pages give better (or equal) lifetime: the trend is a
+        # non-increasing envelope.  Allow sampling noise of half a write.
+        assert gains[0] + 0.51 >= gains[-1], name
+        assert min(gains) >= 1.0
+
+    # The scheme ordering holds at every page size.
+    for index in range(len(sizes)):
+        assert (
+            series["mfc-1/2-1bpc"][index][1]
+            > series["mfc-1/2-2bpc"][index][1]
+            > series["wom"][index][1] - 0.01
+        )

@@ -1,0 +1,30 @@
+"""Fig. 15: average fraction of v-cells incremented per page update."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig15_data, format_fig15
+
+
+def test_bench_fig15(benchmark, config) -> None:
+    series = benchmark.pedantic(
+        lambda: fig15_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig15(series))
+
+    wom = series["WOM"]
+    mfc = series["MFC-1/2-1BPC"]
+
+    # Paper: WOM increments ~75% of cells per update, MFC ~17%.
+    assert 0.6 < wom[0] < 0.9
+    assert 0.08 < mfc[0] < 0.3
+    assert mfc[0] < wom[0] / 3
+
+    # Paper: the first updates have the fewest increments (cells start at
+    # L0, balancing costs nothing yet); later updates pay for balance.
+    per_update = [fraction for update, fraction in sorted(mfc.items()) if update]
+    assert per_update[0] <= max(per_update) + 1e-9
+    assert min(per_update[:2]) <= min(per_update[-2:]) + 0.02
+
+    # MFC sustains many more updates than WOM's two.
+    assert len([u for u in mfc if u]) > 4 * len([u for u in wom if u])

@@ -1,0 +1,34 @@
+"""Fig. 16: histogram of v-cell levels reached before erase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig16_data, format_fig16
+
+
+def test_bench_fig16(benchmark, config) -> None:
+    series = benchmark.pedantic(
+        lambda: fig16_data(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_fig16(series))
+
+    wom = series["WOM"]
+    mfc = series["MFC-1/2-1BPC"]
+
+    # Histograms are distributions over the 4 levels.
+    for name, histogram in series.items():
+        assert len(histogram) == 4
+        assert histogram.sum() == pytest.approx(1.0)
+
+    # Paper: MFC pushes the vast majority of cells to L2/L3 with almost
+    # nothing left at L0; WOM leaves ~6% unprogrammed and only ~56% high.
+    assert mfc[2] + mfc[3] > 0.65
+    assert mfc[0] < 0.05
+    assert wom[0] > mfc[0]
+    assert wom[2] + wom[3] < mfc[2] + mfc[3]
+
+    # Paper: both schemes end with a comparable saturated fraction —
+    # saturated cells are the common bottleneck that forces the erase.
+    assert wom[3] > 0.08 and mfc[3] > 0.08

@@ -1,0 +1,52 @@
+"""Table I: rate, lifetime gain and aggregate gain for every scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, config) -> None:
+    rows = benchmark.pedantic(
+        lambda: run_table1(config), rounds=1, iterations=1
+    )
+    print()
+    print(format_table1(rows))
+    by_name = {row.name: row for row in rows}
+
+    # Baselines are exact.
+    assert by_name["Uncoded"].lifetime_gain == 1.0
+    assert by_name["Uncoded"].aggregate_gain == 1.0
+    assert by_name["Redundancy-1/2"].lifetime_gain == 2.0
+    assert by_name["Redundancy-1/2"].aggregate_gain == pytest.approx(1.0)
+
+    # WOM: rate 2/3, lifetime ~2, aggregate ~4/3.
+    wom = by_name["WOM"]
+    assert wom.rate == pytest.approx(2 / 3, rel=0.01)
+    assert wom.lifetime_gain == pytest.approx(2.0, abs=0.5)
+
+    # The paper's headline: MFC-1/2-1BPC reaches lifetime gain ~12 and the
+    # best aggregate gain (~2) of all schemes.
+    headline = by_name["MFC-1/2-1BPC"]
+    assert headline.lifetime_gain > 10
+    assert headline.aggregate_gain > 1.8
+    assert headline.aggregate_gain == max(r.aggregate_gain for r in rows)
+
+    # MFC-1/2-2BPC trades lifetime for capacity at WOM-like aggregate gain.
+    two_bpc = by_name["MFC-1/2-2BPC"]
+    assert 3 <= two_bpc.lifetime_gain <= 7
+    assert two_bpc.aggregate_gain == pytest.approx(wom.aggregate_gain, rel=0.35)
+
+    # Lifetime ordering follows coset redundancy (Fig. 12's range).
+    assert (
+        by_name["MFC-1/2-1BPC"].lifetime_gain
+        > by_name["MFC-2/3"].lifetime_gain
+        >= by_name["MFC-3/4"].lifetime_gain
+        >= by_name["MFC-4/5"].lifetime_gain
+        > wom.lifetime_gain
+    )
+
+    # Every MFC beats the baseline's aggregate gain of 1.
+    for name in ("MFC-1/2-1BPC", "MFC-1/2-2BPC", "MFC-2/3", "MFC-3/4", "MFC-4/5"):
+        assert by_name[name].aggregate_gain > 1.0

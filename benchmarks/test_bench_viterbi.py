@@ -1,0 +1,53 @@
+"""Raw coding-path performance: encode/decode throughput.
+
+Not a paper figure — this tracks the implementation's own hot path so
+regressions in the Viterbi search or the syndrome former are visible.
+These benches use multiple rounds (they are fast per call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import ConvolutionalCosetCode
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConvolutionalCosetCode(page_bits=4096, rate_denominator=2,
+                                  constraint_length=7)
+
+
+@pytest.fixture(scope="module")
+def warm_page(code):
+    """A half-worn page (realistic mid-life Viterbi input)."""
+    rng = np.random.default_rng(0)
+    page = np.zeros(code.page_bits, np.uint8)
+    for _ in range(6):
+        page = code.encode(
+            rng.integers(0, 2, code.dataword_bits, dtype=np.uint8), page
+        )
+    return page
+
+
+def test_bench_viterbi_encode(benchmark, code, warm_page) -> None:
+    rng = np.random.default_rng(1)
+    datawords = [
+        rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+        for _ in range(8)
+    ]
+    counter = {"i": 0}
+
+    def encode_once():
+        data = datawords[counter["i"] % len(datawords)]
+        counter["i"] += 1
+        return code.encode(data, warm_page)
+
+    result = benchmark(encode_once)
+    assert result.shape == (code.page_bits,)
+
+
+def test_bench_syndrome_decode(benchmark, code, warm_page) -> None:
+    result = benchmark(lambda: code.decode(warm_page))
+    assert result.shape == (code.dataword_bits,)

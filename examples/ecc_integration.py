@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""ECC integration (paper Section V.B): rewriting + error correction.
+
+The coset code's datawords are restricted to interleaved SECDED Hamming
+codewords, so every coset member is ECC-valid, the redundancy is scrambled
+across all cells (no hot parity cells), and one corrupted v-cell per page
+decodes transparently.
+
+Run:  python examples/ecc_integration.py
+"""
+
+import numpy as np
+
+from repro.coding import ConvolutionalCosetCode
+from repro.coding.ecc_coset import EccIntegratedCosetCode
+from repro.errors import UnwritableError
+
+
+def main() -> None:
+    page_bits = 1536
+    protected = EccIntegratedCosetCode(page_bits=page_bits,
+                                       rate_denominator=2,
+                                       constraint_length=4)
+    plain = ConvolutionalCosetCode(page_bits=page_bits, rate_denominator=2,
+                                   constraint_length=4)
+    print(f"plain MFC-1/2-1BPC:  {plain.dataword_bits} data bits/page "
+          f"(rate {plain.rate:.3f})")
+    print(f"with integrated ECC: {protected.dataword_bits} data bits/page "
+          f"(rate {protected.rate:.3f}) — Section V.B's rate cost")
+    print()
+
+    rng = np.random.default_rng(0)
+    page = np.zeros(page_bits, np.uint8)
+    data = rng.integers(0, 2, protected.dataword_bits, dtype=np.uint8)
+    page = protected.encode(data, page)
+
+    # Corrupt one random stored bit (a failing cell).
+    victim = int(rng.integers(0, protected.inner.varray.used_bits))
+    corrupted = page.copy()
+    corrupted[victim] ^= 1
+    report = protected.decode_with_report(corrupted)
+    print(f"flipped stored bit {victim}:")
+    print(f"  corrected blocks: {report.corrected_bits}, "
+          f"uncorrectable: {report.detected_uncorrectable}")
+    print(f"  data intact: {np.array_equal(report.data, data)}")
+    print()
+
+    # Rewriting still works, many times per erase.
+    page = np.zeros(page_bits, np.uint8)
+    writes = 0
+    try:
+        while True:
+            payload = rng.integers(0, 2, protected.dataword_bits, dtype=np.uint8)
+            page = protected.encode(payload, page)
+            writes += 1
+    except UnwritableError:
+        pass
+    print(f"rewrites per erase with ECC integrated: {writes} "
+          f"(the balancing heuristics keep working — no dedicated parity "
+          f"cells to wear out first)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fault tolerance: defective cells, wear-induced errors, and ECC.
+
+Three fault stories the paper's related work raises, demonstrated on the
+library:
+
+1. stuck cells (manufacturing defects / early wearout): the MFC selection
+   metric routes codewords around them; WOM collapses;
+2. wear-dependent raw bit errors: the exponential BER model;
+3. ECC-integrated cosets reading through corrupted cells transparently.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.coding.ecc_coset import EccIntegratedCosetCode
+from repro.core import LifetimeSimulator, make_scheme
+from repro.flash.noise import WearNoiseModel
+
+
+def stuck_cells() -> None:
+    print("=== stuck cells: lifetime gain vs defect fraction ===")
+    page_bits = 1536
+    mfc = make_scheme("mfc-1/2-1bpc", page_bits, constraint_length=4)
+    wom = make_scheme("wom", page_bits)
+    print(f"{'stuck':>8}{'MFC-1/2-1BPC':>15}{'WOM':>8}")
+    for fraction in (0.0, 0.02, 0.05, 0.10):
+        mfc_gain = LifetimeSimulator(
+            mfc, seed=1, defect_fraction=fraction
+        ).run(cycles=2).lifetime_gain
+        wom_gain = LifetimeSimulator(
+            wom, seed=1, defect_fraction=fraction
+        ).run(cycles=2).lifetime_gain
+        print(f"{fraction:>8.0%}{mfc_gain:>15.1f}{wom_gain:>8.1f}")
+    print("(the infinite-cost rule for saturated cells doubles as defect "
+          "tolerance)\n")
+
+
+def wear_noise() -> None:
+    print("=== raw bit error rate vs program/erase cycles ===")
+    model = WearNoiseModel(floor_ber=1e-6, growth=6.0, rated_cycles=3000)
+    for cycles in (0, 1000, 2000, 3000, 4000):
+        print(f"  {cycles:>5} cycles: BER {model.ber(cycles):.2e}, "
+              f"~{model.expected_errors(32768, cycles):.2f} errors per 4KB read")
+    print()
+
+
+def ecc_reads_through_noise() -> None:
+    print("=== ECC-integrated cosets under realistic noise ===")
+    code = EccIntegratedCosetCode(page_bits=1536, constraint_length=4)
+    model = WearNoiseModel(floor_ber=2e-4, growth=0.0)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+    page = code.encode(data, np.zeros(code.page_bits, np.uint8))
+    clean, corrected, lost = 0, 0, 0
+    for trial in range(50):
+        noisy = model.corrupt(page, erase_count=0,
+                              rng=np.random.default_rng(trial))
+        report = code.decode_with_report(noisy)
+        if report.detected_uncorrectable or not np.array_equal(report.data, data):
+            lost += 1
+        elif report.corrected_bits:
+            corrected += 1
+        else:
+            clean += 1
+    print(f"  50 reads at BER 2e-4 over {code.page_bits} bits:")
+    print(f"  clean: {clean}, transparently corrected: {corrected}, "
+          f"lost: {lost}")
+    print(f"  (redundancy is scrambled across all cells by the coset code — "
+          f"no parity hot spots)")
+
+
+if __name__ == "__main__":
+    stuck_cells()
+    wear_noise()
+    ecc_reads_through_noise()

@@ -1,0 +1,51 @@
+"""Methuselah Flash — rewriting codes for extra long storage lifetime.
+
+A from-scratch reproduction of Mappouras et al., DSN 2016.  The library is
+layered exactly like the paper's system (Fig. 5):
+
+``repro.flash``
+    A physical NAND simulator exposing the realistic interface: pages of
+    bits, program-without-erase that can only set bits, restricted MLC
+    level transitions, block-granularity erases with finite endurance.
+``repro.vcell``
+    Virtual cells — ideal L-level cells built out of L-1 bits of one page —
+    the paper's bridge between real flash and ideal-cell coding theory.
+``repro.coding``
+    Convolutional/coset codes, the wear-cost metric, the Viterbi coset
+    search, WOM codes and waterfall coding.
+``repro.core``
+    Rewriting *schemes* (Uncoded, Redundancy, WOM, Waterfall and the five
+    MFC variants), the page lifetime simulator and the trade-off analyses
+    behind every figure in the paper.
+``repro.ftl`` / ``repro.ssd``
+    A flash translation layer (mapping, garbage collection, wear leveling)
+    and device-level lifetime simulation.
+``repro.experiments``
+    One entry point per table/figure of the paper
+    (``python -m repro.experiments --help``).
+
+Quickstart::
+
+    from repro import make_scheme, LifetimeSimulator
+
+    scheme = make_scheme("mfc-1/2-1bpc", page_bits=4096)
+    result = LifetimeSimulator(scheme, seed=7).run(cycles=5)
+    print(result.lifetime_gain, result.aggregate_gain)
+"""
+
+from repro._version import __version__
+from repro import errors
+
+__all__ = ["__version__", "errors"]
+
+
+def __getattr__(name: str):
+    # Re-export the high-level API lazily so `import repro` stays cheap and
+    # the layers can be imported independently.
+    import importlib
+
+    core = importlib.import_module("repro.core")
+    try:
+        return getattr(core, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None

@@ -1,0 +1,57 @@
+"""Coding layers: convolutional/coset codes, WOM, waterfall, ECC.
+
+The paper's Methuselah Flash Codes are coset codes generated from rate
+``1/m`` convolutional codes (Section III), searched with a wear-cost-driven
+Viterbi algorithm (Section V).  This package provides:
+
+* :mod:`repro.coding.convolutional` — rate ``1/m`` convolutional codes and
+  their trellises,
+* :mod:`repro.coding.registry` — named generator polynomial sets
+  (maximum-free-distance codes in the style of Lin & Costello Table 12.1),
+* :mod:`repro.coding.syndrome` — the syndrome former that maps stored pages
+  back to datawords, and the coset representative construction,
+* :mod:`repro.coding.cost` — the paper's codeword-selection metric
+  ``f(l, l', L)`` and the bit/cell codebooks of Fig. 10 (1BPC waterfall,
+  2BPC direct),
+* :mod:`repro.coding.viterbi` — minimum-wear-cost coset search,
+* :mod:`repro.coding.coset` — the complete rewriting coset code,
+* :mod:`repro.coding.wom` — the Fig. 9 WOM code on 4-level v-cells,
+* :mod:`repro.coding.waterfall` — plain waterfall coding (Fig. 3),
+* :mod:`repro.coding.hamming` / :mod:`repro.coding.ecc_coset` — the
+  Section V.B error-correction integration.
+"""
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.registry import get_code, list_codes
+from repro.coding.cost import (
+    CellCodebook,
+    methuselah_metric,
+    count_only_metric,
+    feasible_only_metric,
+    make_codebook,
+)
+from repro.coding.coset import ConvolutionalCosetCode
+from repro.coding.wom import WomVCellCode
+from repro.coding.waterfall import WaterfallCode
+from repro.coding.hamming import HammingSecded
+from repro.coding.ecc_coset import EccIntegratedCosetCode
+from repro.coding.ideal_cell_codes import IdealCellWaterfall
+from repro.coding.rank_modulation import RankModulationCode
+
+__all__ = [
+    "ConvolutionalCode",
+    "get_code",
+    "list_codes",
+    "CellCodebook",
+    "methuselah_metric",
+    "count_only_metric",
+    "feasible_only_metric",
+    "make_codebook",
+    "ConvolutionalCosetCode",
+    "WomVCellCode",
+    "WaterfallCode",
+    "HammingSecded",
+    "EccIntegratedCosetCode",
+    "IdealCellWaterfall",
+    "RankModulationCode",
+]

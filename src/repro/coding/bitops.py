@@ -1,0 +1,63 @@
+"""Small bit-manipulation helpers shared by the coding layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "pack_values",
+    "unpack_values",
+    "gf2_convolve",
+    "random_bits",
+]
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Expand bytes into a bit array, least-significant bit of each byte first."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")
+
+
+def bytes_from_bits(bits: np.ndarray) -> bytes:
+    """Pack a bit array (padded with zeros to a byte boundary) into bytes."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little").tobytes()
+
+
+def pack_values(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pack groups of ``width`` bits (LSB first) into integer values.
+
+    ``bits`` must have a length divisible by ``width``; the result has
+    ``len(bits) // width`` entries.
+    """
+    matrix = np.asarray(bits, dtype=np.int64).reshape(-1, width)
+    weights = 1 << np.arange(width, dtype=np.int64)
+    return matrix @ weights
+
+
+def unpack_values(values: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_values`: expand values into bit groups (LSB first)."""
+    values = np.asarray(values, dtype=np.int64)
+    shifts = np.arange(width, dtype=np.int64)
+    return ((values[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
+
+
+def gf2_convolve(sequence: np.ndarray, taps: np.ndarray, length: int) -> np.ndarray:
+    """GF(2) polynomial product ``sequence * taps`` truncated to ``length`` terms.
+
+    Both inputs are coefficient arrays with index = power of D.  This is the
+    workhorse of the syndrome former.
+    """
+    product = np.convolve(
+        np.asarray(sequence, dtype=np.int64), np.asarray(taps, dtype=np.int64)
+    )
+    result = (product[:length] & 1).astype(np.uint8)
+    if len(result) < length:
+        result = np.pad(result, (0, length - len(result)))
+    return result
+
+
+def random_bits(rng: np.random.Generator, count: int) -> np.ndarray:
+    """``count`` uniform random bits as uint8."""
+    return rng.integers(0, 2, count, dtype=np.uint8)

@@ -1,0 +1,160 @@
+"""The complete Methuselah rewriting coset code over one page.
+
+Composition (paper Sections III-V):
+
+1. the page's bits are viewed as 4-level v-cells (:mod:`repro.vcell`),
+2. each v-cell stores 1 or 2 codeword bits via a
+   :class:`~repro.coding.cost.CellCodebook` (Fig. 10),
+3. the dataword is the syndrome of the stored codeword under a rate ``1/m``
+   convolutional code; writing picks the minimum-wear coset member with the
+   Viterbi search (Section V.A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.bitops import pack_values, unpack_values
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.cost import CellCodebook, make_codebook
+from repro.coding.page_code import PageCode
+from repro.coding.registry import get_code
+from repro.coding.syndrome import SyndromeFormer
+from repro.coding.viterbi import CosetViterbi
+from repro.errors import CodingError, ConfigurationError
+from repro.vcell import VCellArray, VCellSpec
+
+__all__ = ["ConvolutionalCosetCode"]
+
+
+class ConvolutionalCosetCode(PageCode):
+    """A rewriting coset code bound to a concrete page size.
+
+    Parameters
+    ----------
+    code:
+        The rate ``1/m`` convolutional code generating the cosets, or None
+        to pull one from the registry via ``rate_denominator``.
+    page_bits:
+        Raw physical bits per page (the paper's 4 KB page is 32768).
+    bits_per_cell:
+        1 (waterfall mapping) or 2 (direct mapping) — Fig. 10.
+    vcell_levels:
+        Levels of the virtual cells (the paper uses 4 throughout).
+    codebook:
+        Optional custom codebook (e.g. ablation metrics); overrides
+        ``bits_per_cell``/``vcell_levels`` defaults.
+    """
+
+    def __init__(
+        self,
+        page_bits: int,
+        code: ConvolutionalCode | None = None,
+        *,
+        rate_denominator: int = 2,
+        constraint_length: int | None = None,
+        bits_per_cell: int = 1,
+        vcell_levels: int = 4,
+        codebook: CellCodebook | None = None,
+    ) -> None:
+        if code is None:
+            if constraint_length is None:
+                code = get_code(rate_denominator)
+            else:
+                code = get_code(rate_denominator, constraint_length)
+        self.code = code
+        self.codebook = codebook or make_codebook(bits_per_cell, vcell_levels)
+        if self.codebook.num_levels != vcell_levels and codebook is None:
+            raise ConfigurationError("codebook level count mismatch")
+        self.varray = VCellArray(VCellSpec(self.codebook.num_levels), page_bits)
+        self.page_bits = int(page_bits)
+        m = code.num_outputs
+        if m % self.codebook.bits_per_cell != 0:
+            raise ConfigurationError(
+                f"rate-1/{m} outputs do not divide into "
+                f"{self.codebook.bits_per_cell}-bit symbols"
+            )
+        self.cells_per_step = m // self.codebook.bits_per_cell
+        self.steps = self.varray.num_cells // self.cells_per_step
+        if self.steps == 0:
+            raise ConfigurationError(
+                f"page of {page_bits} bits too small for one trellis step"
+            )
+        self.used_cells = self.steps * self.cells_per_step
+        # The Viterbi search leaves the initial trellis state free, which
+        # perturbs the syndrome of the first 2*memory steps; those steps
+        # carry no data ("guard" region).  This is the small rate cost of
+        # extra states the paper mentions in Section III.
+        self.guard_steps = 2 * code.memory
+        if self.steps <= self.guard_steps:
+            raise ConfigurationError(
+                f"page too small: {self.steps} trellis steps do not exceed "
+                f"the {self.guard_steps}-step guard region"
+            )
+        self.dataword_bits = (self.steps - self.guard_steps) * (m - 1)
+        self.former = SyndromeFormer(code)
+        self.viterbi = CosetViterbi(code.build_trellis(), self.codebook)
+        self._last_cost = float("nan")
+
+    @property
+    def coset_rate(self) -> float:
+        """Rate of the coset code itself: ``(m-1)/m``."""
+        m = self.code.num_outputs
+        return (m - 1) / m
+
+    @property
+    def ideal_rate(self) -> float:
+        """Implementation rate ignoring page-boundary rounding.
+
+        ``coset_rate * bits_per_cell / (vcell_levels - 1)`` — e.g. 1/6 for
+        MFC-1/2-1BPC on 4-level v-cells.
+        """
+        return (
+            self.coset_rate
+            * self.codebook.bits_per_cell
+            / (self.codebook.num_levels - 1)
+        )
+
+    @property
+    def last_write_cost(self) -> float:
+        """Metric cost of the most recent successful encode."""
+        return self._last_cost
+
+    def _step_levels(self, page: np.ndarray) -> np.ndarray:
+        levels = self.varray.levels(page)
+        return levels[: self.used_cells].reshape(self.steps, self.cells_per_step)
+
+    def encode(self, dataword: np.ndarray, page: np.ndarray) -> np.ndarray:
+        data = np.asarray(dataword, dtype=np.uint8)
+        if data.shape != (self.dataword_bits,):
+            raise CodingError(
+                f"dataword must be {self.dataword_bits} bits, got {data.shape}"
+            )
+        m = self.code.num_outputs
+        syndrome = np.zeros((self.steps, m - 1), dtype=np.uint8)
+        syndrome[self.guard_steps :] = data.reshape(
+            self.steps - self.guard_steps, m - 1
+        )
+        representative = self.former.representative(syndrome)
+        rep_values = pack_values(representative.reshape(-1), m)
+        step_levels = self._step_levels(page)
+        result = self.viterbi.search(rep_values, step_levels)
+        self._last_cost = result.total_cost
+        levels = self.varray.levels(page).copy()
+        levels[: self.used_cells] = result.target_levels.reshape(-1)
+        return self.varray.program_levels(page, levels)
+
+    def decode(self, page: np.ndarray) -> np.ndarray:
+        levels = self.varray.levels(page)[: self.used_cells]
+        symbols = self.codebook.read_table[levels]
+        codeword_bits = unpack_values(symbols, self.codebook.bits_per_cell)
+        streams = codeword_bits.reshape(self.steps, self.code.num_outputs)
+        syndrome = self.former.syndrome(streams)
+        return syndrome[self.guard_steps :].reshape(-1)
+
+    def __str__(self) -> str:
+        return (
+            f"coset code [{self.code}] x {self.codebook.name} on "
+            f"{self.varray.num_cells} v-cells ({self.page_bits}-bit page), "
+            f"dataword {self.dataword_bits} bits"
+        )

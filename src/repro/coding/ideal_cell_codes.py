@@ -1,0 +1,66 @@
+"""Prior-work endurance codes written against *ideal* cells.
+
+Prior endurance coding (e.g. waterfall coding, Lastras-Montaño et al.,
+"On the Lifetime of Multilevel Memories") assumes a cell whose level can be
+raised from ``i`` to any ``j > i`` in one program operation.  This module
+implements that code exactly as published — directly against cell levels —
+so the library can *demonstrate* the paper's Section IV point: the same
+code object runs fine on :data:`~repro.flash.cell.IDEAL_MLC` and crashes
+with :class:`~repro.errors.IllegalTransitionError` on the real MLC model,
+while the v-cell layer makes it work on real flash (that variant lives in
+:mod:`repro.coding.waterfall`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError, UnwritableError
+from repro.flash.wordline import Wordline
+
+__all__ = ["IdealCellWaterfall"]
+
+
+class IdealCellWaterfall:
+    """Waterfall coding straight on a wordline's cell levels.
+
+    One data bit per physical cell; the stored bit is the level's parity.
+    Every flip is a +1 level increment — legal on ideal cells, frequently
+    illegal (L1 -> L2) on the paper's realistic MLC.
+    """
+
+    def __init__(self, wordline: Wordline) -> None:
+        self.wordline = wordline
+        self.dataword_bits = wordline.page_bits
+        self.levels = wordline.cell.levels
+
+    def read(self) -> np.ndarray:
+        """Current data bits (level parities)."""
+        return (self.wordline.read_levels() % 2).astype(np.uint8)
+
+    def write(self, dataword: np.ndarray) -> None:
+        """Store ``dataword``, incrementing every cell whose parity flips.
+
+        Raises
+        ------
+        UnwritableError
+            If a saturated cell would need to flip (erase required).
+        IllegalTransitionError
+            On cell models that do not allow the requested increments —
+            the ideal-cell assumption colliding with real flash.
+        """
+        data = np.asarray(dataword, dtype=np.uint8)
+        if data.shape != (self.dataword_bits,):
+            raise CodingError(
+                f"dataword must be {self.dataword_bits} bits, got {data.shape}"
+            )
+        current = self.wordline.read_levels()
+        flips = (current % 2) != data
+        targets = current + flips
+        if targets.max(initial=0) > self.levels - 1:
+            raise UnwritableError(
+                "a saturated cell would need its parity flipped"
+            )
+        # One program per flip level — exactly what an ideal-cell code
+        # expects to be able to do.
+        self.wordline.program_levels(targets)

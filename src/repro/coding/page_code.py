@@ -1,0 +1,42 @@
+"""Common interface for page-level rewriting codes.
+
+A *page code* turns a fixed-size dataword into the next full contents of one
+physical page, given the page's current contents, such that the update obeys
+the flash interface (bits only set).  When no legal update exists the code
+raises :class:`~repro.errors.UnwritableError` and the page must be erased.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["PageCode"]
+
+
+class PageCode(abc.ABC):
+    """Abstract rewriting code over one page of bits."""
+
+    #: Number of physical bits in the page this code was sized for.
+    page_bits: int
+    #: Dataword size in bits accepted by :meth:`encode`.
+    dataword_bits: int
+
+    @property
+    def rate(self) -> float:
+        """Host-visible bits per raw page bit actually achieved."""
+        return self.dataword_bits / self.page_bits
+
+    @abc.abstractmethod
+    def encode(self, dataword: np.ndarray, page: np.ndarray) -> np.ndarray:
+        """Return the page's next bits storing ``dataword``.
+
+        Must be bit-monotone w.r.t. ``page`` (only sets bits).  Raises
+        :class:`~repro.errors.UnwritableError` when the dataword cannot be
+        stored without an erase.
+        """
+
+    @abc.abstractmethod
+    def decode(self, page: np.ndarray) -> np.ndarray:
+        """Recover the most recently stored dataword from page bits."""

@@ -1,0 +1,80 @@
+"""Registry of convolutional code generator polynomials.
+
+The paper constructs its coset codes from rate 1/2, 1/3, 1/4, and 1/5
+convolutional codes and cites Lin & Costello's Table 12.1(c) for the
+generators.  The entries below are the standard maximum-free-distance
+generators published in coding textbooks (Lin & Costello; Proakis) in octal
+notation.  Codes are keyed by ``(rate_denominator, constraint_length)``; the
+paper also experiments with different state counts for rate 1/2, which maps
+to the ``constraint_length`` axis here.
+"""
+
+from __future__ import annotations
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.errors import ConfigurationError
+
+__all__ = ["get_code", "list_codes", "DEFAULT_CONSTRAINT_LENGTH"]
+
+#: Constraint length used when a scheme does not specify one (64-state codes,
+#: the strongest the paper alludes to).
+DEFAULT_CONSTRAINT_LENGTH = 7
+
+_GENERATORS: dict[tuple[int, int], tuple[int, ...]] = {
+    # rate 1/2 (m=2): maximum free distance codes
+    (2, 3): (0o5, 0o7),
+    (2, 4): (0o15, 0o17),
+    (2, 5): (0o23, 0o35),
+    (2, 6): (0o53, 0o75),
+    (2, 7): (0o133, 0o171),
+    (2, 8): (0o247, 0o371),
+    (2, 9): (0o561, 0o753),
+    # rate 1/3 (m=3)
+    (3, 3): (0o5, 0o7, 0o7),
+    (3, 4): (0o13, 0o15, 0o17),
+    (3, 5): (0o25, 0o33, 0o37),
+    (3, 6): (0o47, 0o53, 0o75),
+    (3, 7): (0o133, 0o145, 0o175),
+    # rate 1/4 (m=4)
+    (4, 3): (0o5, 0o7, 0o7, 0o7),
+    (4, 4): (0o13, 0o15, 0o15, 0o17),
+    (4, 5): (0o25, 0o27, 0o33, 0o37),
+    (4, 6): (0o53, 0o67, 0o71, 0o75),
+    (4, 7): (0o135, 0o135, 0o147, 0o163),
+    # rate 1/5 (m=5)
+    (5, 3): (0o7, 0o7, 0o7, 0o5, 0o5),
+    (5, 4): (0o17, 0o17, 0o13, 0o15, 0o15),
+    (5, 5): (0o37, 0o27, 0o33, 0o25, 0o35),
+    (5, 6): (0o75, 0o71, 0o73, 0o65, 0o57),
+    (5, 7): (0o175, 0o131, 0o135, 0o135, 0o147),
+}
+
+
+def get_code(
+    rate_denominator: int,
+    constraint_length: int = DEFAULT_CONSTRAINT_LENGTH,
+) -> ConvolutionalCode:
+    """Return the registered rate ``1/rate_denominator`` code.
+
+    ``constraint_length`` selects the state count (``2^(K-1)`` states).
+    """
+    key = (rate_denominator, constraint_length)
+    try:
+        generators = _GENERATORS[key]
+    except KeyError:
+        available = sorted(k for k in _GENERATORS if k[0] == rate_denominator)
+        raise ConfigurationError(
+            f"no registered rate-1/{rate_denominator} code with K="
+            f"{constraint_length}; available: {available}"
+        ) from None
+    octals = ",".join(oct(g)[2:] for g in generators)
+    return ConvolutionalCode(
+        generators=generators,
+        constraint_length=constraint_length,
+        name=f"1/{rate_denominator}-K{constraint_length}({octals})",
+    )
+
+
+def list_codes() -> list[tuple[int, int]]:
+    """All registered ``(rate_denominator, constraint_length)`` pairs."""
+    return sorted(_GENERATORS)

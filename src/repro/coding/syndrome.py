@@ -1,0 +1,113 @@
+"""Syndrome former and coset representatives for rate ``1/m`` coset codes.
+
+For a rate ``1/m`` code with generators ``g1..gm`` the parity-check relations
+
+    s_j(D) = g_{j+1}(D) * y_1(D) + g_1(D) * y_{j+1}(D),   j = 1 .. m-1
+
+vanish exactly on codewords, so the length-``(m-1)N`` syndrome sequence of a
+stored page identifies the dataword (the coset index).  Writing uses the
+canonical coset representative with ``t_1 = 0`` and
+``t_{j+1}(D) = s_j(D) / g_1(D)`` — the division is causal because ``g_1`` has
+a nonzero constant term.
+
+Both directions are exact for *unterminated* trellis paths: the syndrome at
+step ``t`` only involves stored bits at steps ``<= t``, so truncation at the
+page boundary never corrupts the mapping (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.bitops import gf2_convolve
+from repro.coding.convolutional import ConvolutionalCode
+from repro.errors import CodingError
+
+__all__ = ["SyndromeFormer"]
+
+
+class SyndromeFormer:
+    """Maps stored codewords to datawords and datawords to coset representatives."""
+
+    def __init__(self, code: ConvolutionalCode) -> None:
+        self.code = code
+        self._coeffs = code.coefficient_matrix.astype(np.int64)
+
+    @property
+    def syndrome_bits_per_step(self) -> int:
+        """Dataword bits carried per trellis step (``m - 1``)."""
+        return self.code.num_outputs - 1
+
+    def syndrome(self, codeword_streams: np.ndarray) -> np.ndarray:
+        """Syndrome of stored streams.
+
+        Parameters
+        ----------
+        codeword_streams:
+            ``(steps, m)`` array, column ``j`` is stream ``y_{j+1}``.
+
+        Returns
+        -------
+        ``(steps, m-1)`` array of syndrome bits; column ``j`` is ``s_{j+1}``.
+        """
+        streams = np.asarray(codeword_streams, dtype=np.uint8)
+        if streams.ndim != 2 or streams.shape[1] != self.code.num_outputs:
+            raise CodingError(
+                f"expected (steps, {self.code.num_outputs}) streams, got "
+                f"shape {streams.shape}"
+            )
+        steps = streams.shape[0]
+        result = np.empty((steps, self.syndrome_bits_per_step), dtype=np.uint8)
+        y1 = streams[:, 0]
+        for j in range(self.syndrome_bits_per_step):
+            term_a = gf2_convolve(y1, self._coeffs[j + 1], steps)
+            term_b = gf2_convolve(streams[:, j + 1], self._coeffs[0], steps)
+            result[:, j] = term_a ^ term_b
+        return result
+
+    def representative(self, syndrome: np.ndarray) -> np.ndarray:
+        """Canonical coset member ``t`` with the given syndrome.
+
+        Parameters
+        ----------
+        syndrome:
+            ``(steps, m-1)`` dataword bits arranged per step.
+
+        Returns
+        -------
+        ``(steps, m)`` stream array with ``t_1 = 0`` and
+        ``t_{j+1} = s_j / g_1`` (causal feedback division).
+        """
+        s = np.asarray(syndrome, dtype=np.uint8)
+        if s.ndim != 2 or s.shape[1] != self.syndrome_bits_per_step:
+            raise CodingError(
+                f"expected (steps, {self.syndrome_bits_per_step}) syndrome, "
+                f"got shape {s.shape}"
+            )
+        steps = s.shape[0]
+        rep = np.zeros((steps, self.code.num_outputs), dtype=np.uint8)
+        feedback_taps = np.flatnonzero(self._coeffs[0, 1:]) + 1  # powers >= 1
+        for j in range(self.syndrome_bits_per_step):
+            stream = _divide_by_g1(s[:, j], feedback_taps, steps)
+            rep[:, j + 1] = stream
+        return rep
+
+
+def _divide_by_g1(
+    numerator: np.ndarray, feedback_taps: np.ndarray, steps: int
+) -> np.ndarray:
+    """Causal GF(2) division by ``g1(D)`` (constant term 1 assumed).
+
+    Solves ``t`` in ``g1 * t = numerator`` term by term:
+    ``t[n] = numerator[n] XOR sum(t[n - i] for tap powers i >= 1)``.
+    """
+    out = np.zeros(steps, dtype=np.uint8)
+    num = numerator.astype(np.uint8)
+    taps = [int(tap) for tap in feedback_taps]
+    for n in range(steps):
+        acc = int(num[n])
+        for tap in taps:
+            if tap <= n:
+                acc ^= int(out[n - tap])
+        out[n] = acc
+    return out

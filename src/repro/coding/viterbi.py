@@ -1,0 +1,147 @@
+"""Minimum-wear-cost Viterbi search over a coset of a convolutional code.
+
+Given a coset representative ``t`` (one stream array per page write) and the
+current levels of the page's v-cells, the search finds the codeword ``c``
+minimizing the total write cost of ``y = t XOR c`` under a
+:class:`~repro.coding.cost.CellCodebook`.  This is the engine behind every
+Methuselah Flash Code: the dataword fixes the coset, the Viterbi picks which
+member to write (paper Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.convolutional import Trellis
+from repro.coding.cost import CellCodebook
+from repro.errors import ConfigurationError, UnwritableError
+
+__all__ = ["CosetViterbi", "ViterbiResult"]
+
+
+@dataclass(frozen=True)
+class ViterbiResult:
+    """Outcome of a coset search.
+
+    Attributes
+    ----------
+    codeword_values:
+        ``(steps,)`` packed ``m``-bit codeword chunk per trellis step
+        (``y = t XOR c``).
+    target_levels:
+        ``(steps, cells_per_step)`` post-write level of every v-cell.
+    total_cost:
+        The metric cost of the chosen codeword (finite by construction).
+    """
+
+    codeword_values: np.ndarray
+    target_levels: np.ndarray
+    total_cost: float
+
+
+class CosetViterbi:
+    """Reusable searcher for one (trellis, codebook) pair."""
+
+    def __init__(self, trellis: Trellis, codebook: CellCodebook) -> None:
+        m = trellis.outputs_per_step
+        if m % codebook.bits_per_cell != 0:
+            raise ConfigurationError(
+                f"{m} output bits per step do not divide into "
+                f"{codebook.bits_per_cell}-bit cell symbols"
+            )
+        self.trellis = trellis
+        self.codebook = codebook
+        self.cells_per_step = m // codebook.bits_per_cell
+        self.num_values = 1 << m
+        # symbol_of_value[v, i] = the i-th cell's symbol within packed chunk v.
+        values = np.arange(self.num_values, dtype=np.int64)
+        shifts = np.arange(self.cells_per_step, dtype=np.int64) * codebook.bits_per_cell
+        mask = (1 << codebook.bits_per_cell) - 1
+        self.symbol_of_value = (values[:, None] >> shifts[None, :]) & mask
+        # Branch outputs gathered at each state's predecessors: lets the
+        # hot loop compute incoming costs with two gathers per step.
+        self._pred_output = trellis.output_values[
+            trellis.prev_state, trellis.prev_input
+        ]
+
+    def step_cost_table(self, step_levels: np.ndarray) -> np.ndarray:
+        """Cost of writing each packed chunk value at each step.
+
+        ``step_levels`` is ``(steps, cells_per_step)``; the result is
+        ``(steps, 2**m)``.
+        """
+        per_cell = self.codebook.cost_table[
+            step_levels[:, None, :], self.symbol_of_value[None, :, :]
+        ]
+        return per_cell.sum(axis=2)
+
+    def search(
+        self, representative_values: np.ndarray, step_levels: np.ndarray
+    ) -> ViterbiResult:
+        """Find the minimum-cost writable codeword in the coset.
+
+        Parameters
+        ----------
+        representative_values:
+            ``(steps,)`` packed ``m``-bit chunks of the coset representative.
+        step_levels:
+            ``(steps, cells_per_step)`` current v-cell levels.
+
+        Raises
+        ------
+        UnwritableError
+            If every coset member would increment a saturated cell (or
+            request an unreachable level); the page must be erased.
+        """
+        trellis = self.trellis
+        steps = len(representative_values)
+        levels = np.asarray(step_levels, dtype=np.int64)
+        if levels.shape != (steps, self.cells_per_step):
+            raise ConfigurationError(
+                f"step_levels must be ({steps}, {self.cells_per_step}), "
+                f"got {levels.shape}"
+            )
+        step_costs = self.step_cost_table(levels)
+        num_states = trellis.num_states
+        output_values = trellis.output_values
+        prev_state = trellis.prev_state
+        prev_input = trellis.prev_input
+        pred_output = self._pred_output
+        rep_list = [int(v) for v in representative_values]
+        # Free initial state: the encoder may start anywhere; the first
+        # 2*memory syndrome steps are guard (don't-care) data so the choice
+        # never corrupts decoding (see ConvolutionalCosetCode.guard_steps).
+        path = np.zeros(num_states)
+        backptr = np.empty((steps, num_states), dtype=np.uint8)
+        state_index = np.arange(num_states)
+        for t in range(steps):
+            # incoming[s', k] = cost of reaching s' via its k-th predecessor.
+            incoming = path[prev_state] + step_costs[t][pred_output ^ rep_list[t]]
+            choice = (incoming[:, 1] < incoming[:, 0]).astype(np.uint8)
+            path = incoming[state_index, choice]
+            backptr[t] = choice
+        end_state = int(np.argmin(path))
+        total_cost = float(path[end_state])
+        if not np.isfinite(total_cost):
+            raise UnwritableError(
+                "no codeword in the coset is writable onto the current page"
+            )
+        codeword_values = np.empty(steps, dtype=np.int64)
+        state = end_state
+        for t in range(steps - 1, -1, -1):
+            choice = backptr[t, state]
+            source = int(prev_state[state, choice])
+            u = int(prev_input[state, choice])
+            codeword_values[t] = output_values[source, u] ^ int(
+                representative_values[t]
+            )
+            state = source
+        symbols = self.symbol_of_value[codeword_values]
+        target_levels = self.codebook.target_table[levels, symbols]
+        return ViterbiResult(
+            codeword_values=codeword_values,
+            target_levels=target_levels,
+            total_cost=total_cost,
+        )

@@ -1,0 +1,34 @@
+"""MFC with integrated error correction as a scheme (Section V.B)."""
+
+from __future__ import annotations
+
+from repro.coding.ecc_coset import EccIntegratedCosetCode
+from repro.core.scheme import PageCodeScheme
+
+__all__ = ["EccMfcScheme"]
+
+
+class EccMfcScheme(PageCodeScheme):
+    """An MFC whose cosets contain only ECC-valid codewords.
+
+    Every stored page tolerates one corrupted v-cell transparently; the
+    cost is the Hamming rate on top of the MFC rate.
+    """
+
+    def __init__(
+        self,
+        page_bits: int,
+        rate_denominator: int = 2,
+        constraint_length: int = 4,
+        bits_per_cell: int = 1,
+        hamming_r: int = 3,
+    ) -> None:
+        code = EccIntegratedCosetCode(
+            page_bits=page_bits,
+            rate_denominator=rate_denominator,
+            constraint_length=constraint_length,
+            bits_per_cell=bits_per_cell,
+            hamming_r=hamming_r,
+        )
+        name = f"MFC-1/{rate_denominator}-ECC"
+        super().__init__(name=name, code=code)

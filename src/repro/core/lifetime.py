@@ -1,0 +1,164 @@
+"""Page lifetime simulation — the paper's methodology (Section VII).
+
+A single flash page is repeatedly programmed with pseudo-random datawords
+(the coset scrambling makes results input-independent, so random data is
+representative).  The number of writes accepted before the scheme demands an
+erase, averaged over erase cycles, is the *lifetime gain* relative to
+uncoded flash (which accepts exactly one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analysis import UpdateTrace
+from repro.core.scheme import RewritingScheme
+from repro.errors import ConfigurationError, DecodingError, UnwritableError
+
+__all__ = ["LifetimeSimulator", "LifetimeResult"]
+
+
+@dataclass(frozen=True)
+class LifetimeResult:
+    """Outcome of a lifetime simulation.
+
+    ``lifetime_gain`` is the average number of writes per erase cycle;
+    ``aggregate_gain`` multiplies it by the scheme's rate (the paper's key
+    metric — the area of a Fig. 1 rectangle).
+    """
+
+    scheme_name: str
+    rate: float
+    writes_per_cycle: tuple[int, ...]
+    trace: UpdateTrace = field(repr=False)
+
+    @property
+    def lifetime_gain(self) -> float:
+        return float(np.mean(self.writes_per_cycle))
+
+    @property
+    def lifetime_std(self) -> float:
+        return float(np.std(self.writes_per_cycle))
+
+    @property
+    def aggregate_gain(self) -> float:
+        return self.lifetime_gain * self.rate
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme_name}: rate {self.rate:.4f}, lifetime gain "
+            f"{self.lifetime_gain:.2f}, aggregate gain {self.aggregate_gain:.2f}"
+        )
+
+
+class LifetimeSimulator:
+    """Streams random datawords into one simulated page until it wears out.
+
+    Parameters
+    ----------
+    scheme:
+        The rewriting scheme under test.
+    seed:
+        RNG seed; simulations are fully deterministic given a seed.
+    verify_reads:
+        When True, every write is read back and compared (slower; used by
+        integration tests to prove end-to-end correctness during the whole
+        life of the page).
+    num_levels:
+        Cell level count for histogram bucketing; inferred from the scheme's
+        code when not given.
+    defect_fraction:
+        Fraction of v-cells stuck at the top level from the start of every
+        erase cycle (manufacturing defects / early wearout — Grupp et al.,
+        cited in the paper's related work).  Only supported for cell-based
+        schemes; codes that can route around saturated cells (MFCs) degrade
+        gracefully, codes that cannot collapse.
+    """
+
+    def __init__(
+        self,
+        scheme: RewritingScheme,
+        seed: int = 0,
+        verify_reads: bool = False,
+        num_levels: int | None = None,
+        defect_fraction: float = 0.0,
+    ) -> None:
+        self.scheme = scheme
+        self.rng = np.random.default_rng(seed)
+        self.verify_reads = verify_reads
+        varray = getattr(getattr(scheme, "code", None), "varray", None)
+        if num_levels is None:
+            num_levels = varray.spec.levels if varray is not None else 4
+        self.num_levels = num_levels
+        if not 0 <= defect_fraction < 1:
+            raise ConfigurationError("defect_fraction must lie in [0, 1)")
+        if defect_fraction and varray is None:
+            raise ConfigurationError(
+                f"{scheme.name} is not cell-based; defects unsupported"
+            )
+        self.defect_fraction = defect_fraction
+        self._varray = varray
+
+    def run(
+        self, cycles: int = 5, max_writes_per_cycle: int = 100_000
+    ) -> LifetimeResult:
+        """Simulate ``cycles`` erase cycles; return gains and traces."""
+        if cycles < 1:
+            raise ConfigurationError("need at least one erase cycle")
+        writes_per_cycle: list[int] = []
+        trace = UpdateTrace()
+        for _ in range(cycles):
+            writes_per_cycle.append(
+                self._run_cycle(trace, max_writes_per_cycle)
+            )
+        return LifetimeResult(
+            scheme_name=self.scheme.name,
+            rate=self.scheme.rate,
+            writes_per_cycle=tuple(writes_per_cycle),
+            trace=trace,
+        )
+
+    def _inject_defects(self, state: np.ndarray) -> np.ndarray:
+        """Pin a random subset of v-cells at the saturated level."""
+        varray = self._varray
+        stuck = self.rng.random(varray.num_cells) < self.defect_fraction
+        targets = varray.levels(state)
+        targets[stuck] = varray.spec.max_level
+        return varray.program_levels(state, targets)
+
+    def _run_cycle(self, trace: UpdateTrace, max_writes: int) -> int:
+        scheme = self.scheme
+        state = scheme.fresh_state()
+        if self.defect_fraction:
+            state = self._inject_defects(state)
+        writes = 0
+        levels = scheme.cell_levels(state)
+        while writes < max_writes:
+            dataword = self.rng.integers(
+                0, 2, scheme.dataword_bits, dtype=np.uint8
+            )
+            try:
+                state = scheme.write(state, dataword)
+            except UnwritableError:
+                break
+            writes += 1
+            if self.verify_reads:
+                stored = scheme.read(state)
+                if not np.array_equal(stored, dataword):
+                    raise DecodingError(
+                        f"{scheme.name}: read-back mismatch on update {writes}"
+                    )
+            new_levels = scheme.cell_levels(state)
+            if levels is not None and new_levels is not None:
+                trace.record_update(writes, levels, new_levels)
+            levels = new_levels
+        else:
+            raise ConfigurationError(
+                f"{scheme.name} accepted {max_writes} writes without needing "
+                "an erase; raise max_writes_per_cycle if this is intended"
+            )
+        if levels is not None:
+            trace.record_erase(levels, self.num_levels)
+        return writes

@@ -1,0 +1,95 @@
+"""Methuselah Flash Codes as schemes (paper Section VI).
+
+The five implementations evaluated in the paper:
+
+======================  ==========  ====  ============
+variant                 coset rate  BPC   overall rate
+======================  ==========  ====  ============
+``MFC-1/2-1BPC``        1/2         1     1/6
+``MFC-1/2-2BPC``        1/2         2     1/3
+``MFC-2/3``             2/3         1     2/9
+``MFC-3/4``             3/4         1     1/4
+``MFC-4/5``             4/5         1     4/15
+======================  ==========  ====  ============
+"""
+
+from __future__ import annotations
+
+from repro.coding.coset import ConvolutionalCosetCode
+from repro.coding.cost import CellCodebook
+from repro.coding.registry import DEFAULT_CONSTRAINT_LENGTH
+from repro.core.scheme import PageCodeScheme
+from repro.errors import ConfigurationError
+
+__all__ = ["MfcScheme", "MFC_VARIANTS"]
+
+#: variant name -> (convolutional rate denominator, bits per v-cell).
+MFC_VARIANTS: dict[str, tuple[int, int]] = {
+    "mfc-1/2-1bpc": (2, 1),
+    "mfc-1/2-2bpc": (2, 2),
+    "mfc-2/3": (3, 1),
+    "mfc-3/4": (4, 1),
+    "mfc-4/5": (5, 1),
+}
+
+
+class MfcScheme(PageCodeScheme):
+    """One of the paper's MFC implementations bound to a page size.
+
+    Parameters
+    ----------
+    variant:
+        A key of :data:`MFC_VARIANTS` (case-insensitive).
+    page_bits:
+        Raw page size in bits (the paper's 4 KB page is 32768).
+    constraint_length:
+        Trellis size knob (``2^(K-1)`` states); the paper's state-count
+        experiment corresponds to sweeping this.
+    vcell_levels:
+        Levels of the underlying virtual cells.  The paper evaluates 4
+        (three page bits per cell); any other count is the co-design
+        surface its conclusion points at (e.g. 8-level cells from 7 bits,
+        Fig. 7).  Only 1BPC variants support non-default level counts.
+    codebook:
+        Optional custom codebook for metric ablations.
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        page_bits: int,
+        constraint_length: int = DEFAULT_CONSTRAINT_LENGTH,
+        vcell_levels: int = 4,
+        codebook: CellCodebook | None = None,
+    ) -> None:
+        key = variant.lower()
+        if key not in MFC_VARIANTS:
+            raise ConfigurationError(
+                f"unknown MFC variant {variant!r}; choose from "
+                f"{sorted(MFC_VARIANTS)}"
+            )
+        denominator, bits_per_cell = MFC_VARIANTS[key]
+        if vcell_levels != 4 and bits_per_cell != 1:
+            raise ConfigurationError(
+                "only 1BPC variants support non-4-level v-cells"
+            )
+        code = ConvolutionalCosetCode(
+            page_bits=page_bits,
+            rate_denominator=denominator,
+            constraint_length=constraint_length,
+            bits_per_cell=bits_per_cell,
+            vcell_levels=vcell_levels,
+            codebook=codebook,
+        )
+        name = key.upper()
+        if vcell_levels != 4:
+            name += f"-{vcell_levels}L"
+        super().__init__(name=name, code=code)
+        self.variant = key
+        self.constraint_length = constraint_length
+        self.vcell_levels = vcell_levels
+
+    @property
+    def ideal_rate(self) -> float:
+        """The paper's nominal rate, ignoring guard/rounding losses."""
+        return self.code.ideal_rate

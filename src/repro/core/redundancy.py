@@ -1,0 +1,62 @@
+"""Simple redundancy: K pages of raw flash per logical page (Section VII).
+
+Writes use the raw pages one after another, each programmed once; after K
+writes all copies are dirty and an erase is required.  Lifetime gain K at
+rate 1/K — aggregate gain exactly 1, the paper's "no better than baseline"
+reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scheme import RewritingScheme
+from repro.errors import CodingError, ConfigurationError, UnwritableError
+
+__all__ = ["RedundancyScheme"]
+
+
+@dataclass
+class _RedundancyState:
+    pages: list[np.ndarray]
+    next_copy: int
+
+
+class RedundancyScheme(RewritingScheme):
+    """Rate ``1/K`` replication over ``K`` physical pages."""
+
+    def __init__(self, page_bits: int, copies: int = 2) -> None:
+        if copies < 1:
+            raise ConfigurationError("need at least one copy")
+        self.name = f"Redundancy-1/{copies}"
+        self.copies = copies
+        self.page_bits = int(page_bits)
+        self.raw_bits = self.page_bits * copies
+        self.dataword_bits = self.page_bits
+
+    def fresh_state(self) -> _RedundancyState:
+        return _RedundancyState(
+            pages=[np.zeros(self.page_bits, np.uint8) for _ in range(self.copies)],
+            next_copy=0,
+        )
+
+    def write(self, state: _RedundancyState, dataword: np.ndarray) -> _RedundancyState:
+        data = np.asarray(dataword, dtype=np.uint8)
+        if data.shape != (self.dataword_bits,):
+            raise CodingError(
+                f"dataword must be {self.dataword_bits} bits, got {data.shape}"
+            )
+        if state.next_copy >= self.copies:
+            raise UnwritableError(
+                f"all {self.copies} copies are programmed; erase required"
+            )
+        pages = list(state.pages)
+        pages[state.next_copy] = data.copy()
+        return _RedundancyState(pages=pages, next_copy=state.next_copy + 1)
+
+    def read(self, state: _RedundancyState) -> np.ndarray:
+        if state.next_copy == 0:
+            return state.pages[0].copy()  # erased: all zeros
+        return state.pages[state.next_copy - 1].copy()

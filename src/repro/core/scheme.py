@@ -1,0 +1,92 @@
+"""The rewriting-scheme interface used by every evaluation in the paper."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.coding.page_code import PageCode
+
+__all__ = ["RewritingScheme", "PageCodeScheme"]
+
+
+class RewritingScheme(abc.ABC):
+    """A lifetime-extension scheme over some amount of raw flash.
+
+    A scheme accepts fixed-size datawords and stores them into raw page
+    bits, re-encoding on every update.  When an update cannot be realized
+    with program-without-erase, :meth:`write` raises
+    :class:`~repro.errors.UnwritableError` and the underlying flash must be
+    erased (the simulator counts an erase cycle and calls
+    :meth:`fresh_state`).
+
+    State is explicit (a numpy bit buffer, or a scheme-defined structure) so
+    the same scheme instance can serve many simulated pages concurrently.
+    """
+
+    #: Human-readable scheme name, e.g. ``"MFC-1/2-1BPC"``.
+    name: str
+    #: Raw flash bits consumed by one logical unit of this scheme.
+    raw_bits: int
+    #: Dataword size accepted by :meth:`write`.
+    dataword_bits: int
+
+    @property
+    def rate(self) -> float:
+        """Host-visible capacity divided by raw capacity (paper Section VII)."""
+        return self.dataword_bits / self.raw_bits
+
+    @abc.abstractmethod
+    def fresh_state(self):
+        """State of freshly erased raw flash."""
+
+    @abc.abstractmethod
+    def write(self, state, dataword: np.ndarray):
+        """Store ``dataword``; return the new state.
+
+        Raises :class:`~repro.errors.UnwritableError` when an erase is
+        required first.
+        """
+
+    @abc.abstractmethod
+    def read(self, state) -> np.ndarray:
+        """Recover the most recently written dataword."""
+
+    def cell_levels(self, state) -> np.ndarray | None:
+        """Current v-cell levels, if this scheme is cell-based (else None).
+
+        Used by the Fig. 15/16 instrumentation.
+        """
+        return None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} (rate {self.rate:.4f}, {self.dataword_bits} data "
+            f"bits over {self.raw_bits} raw bits)"
+        )
+
+
+class PageCodeScheme(RewritingScheme):
+    """A scheme backed by a single-page :class:`~repro.coding.page_code.PageCode`."""
+
+    def __init__(self, name: str, code: PageCode) -> None:
+        self.name = name
+        self.code = code
+        self.raw_bits = code.page_bits
+        self.dataword_bits = code.dataword_bits
+
+    def fresh_state(self) -> np.ndarray:
+        return np.zeros(self.raw_bits, dtype=np.uint8)
+
+    def write(self, state: np.ndarray, dataword: np.ndarray) -> np.ndarray:
+        return self.code.encode(dataword, state)
+
+    def read(self, state: np.ndarray) -> np.ndarray:
+        return self.code.decode(state)
+
+    def cell_levels(self, state: np.ndarray) -> np.ndarray | None:
+        varray = getattr(self.code, "varray", None)
+        if varray is None:
+            return None
+        return varray.levels(state)

@@ -1,0 +1,67 @@
+"""Fixed-cost trade-off math behind Figs. 1, 11, 12 and 13.
+
+The paper visualizes each scheme as a rectangle: at fixed raw capacity
+``C``, a scheme of rate ``r`` and lifetime gain ``g`` offers host-visible
+capacity ``r*C`` for ``g*L`` of lifetime.  The rectangle's area is the
+aggregate gain.  Fig. 13 inverts the question: how much raw capacity does a
+scheme need to deliver a *target* host-visible capacity for a *target*
+lifetime?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import SchemeSummary
+from repro.errors import ConfigurationError
+
+__all__ = ["TradeoffRectangle", "rectangle_for", "cost_to_achieve"]
+
+
+@dataclass(frozen=True)
+class TradeoffRectangle:
+    """A Fig. 1-style rectangle at fixed raw capacity.
+
+    ``capacity_fraction`` is host-visible capacity normalized to the
+    baseline's ``C``; ``lifetime_gain`` is normalized to the baseline's
+    ``L``.  ``area`` equals the aggregate gain.
+    """
+
+    name: str
+    lifetime_gain: float
+    capacity_fraction: float
+
+    @property
+    def area(self) -> float:
+        return self.lifetime_gain * self.capacity_fraction
+
+
+def rectangle_for(summary: SchemeSummary) -> TradeoffRectangle:
+    """The fixed-cost rectangle of a measured scheme (raw capacity = C)."""
+    return TradeoffRectangle(
+        name=summary.name,
+        lifetime_gain=summary.lifetime_gain,
+        capacity_fraction=summary.rate,
+    )
+
+
+def cost_to_achieve(
+    summary: SchemeSummary,
+    lifetime_goal: float,
+    capacity_goal: float = 1.0,
+) -> float:
+    """Raw capacity (normalized to C) a scheme needs for given goals (Fig. 13).
+
+    A scheme with lifetime gain ``g`` must be provisioned
+    ``ceil(goal / g)`` times over (generations are consumed sequentially, as
+    in the paper's simple-redundancy argument), and each generation needs
+    ``capacity_goal / rate`` raw capacity to present ``capacity_goal``
+    host-visible.
+    """
+    if lifetime_goal <= 0 or capacity_goal <= 0:
+        raise ConfigurationError("goals must be positive")
+    if summary.lifetime_gain <= 0 or summary.rate <= 0:
+        raise ConfigurationError(f"{summary.name} has no usable gain/rate")
+    generations = math.ceil(lifetime_goal / summary.lifetime_gain)
+    return generations * capacity_goal / summary.rate

@@ -1,0 +1,43 @@
+"""The baseline: uncoded flash, one program per erase (paper Section VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheme import RewritingScheme
+from repro.errors import CodingError, UnwritableError
+
+__all__ = ["UncodedScheme"]
+
+
+class UncodedScheme(RewritingScheme):
+    """Datawords stored directly as page bits, rate 1.
+
+    Program-without-erase can only set bits, so a rewrite succeeds only when
+    the new dataword happens to cover the old one bitwise — with random data
+    that essentially never happens on realistic page sizes, giving the
+    baseline's lifetime gain of exactly 1.
+    """
+
+    def __init__(self, page_bits: int) -> None:
+        self.name = "Uncoded"
+        self.raw_bits = int(page_bits)
+        self.dataword_bits = int(page_bits)
+
+    def fresh_state(self) -> np.ndarray:
+        return np.zeros(self.raw_bits, dtype=np.uint8)
+
+    def write(self, state: np.ndarray, dataword: np.ndarray) -> np.ndarray:
+        data = np.asarray(dataword, dtype=np.uint8)
+        if data.shape != (self.dataword_bits,):
+            raise CodingError(
+                f"dataword must be {self.dataword_bits} bits, got {data.shape}"
+            )
+        if ((state == 1) & (data == 0)).any():
+            raise UnwritableError(
+                "uncoded rewrite would clear programmed bits; erase required"
+            )
+        return data.copy()
+
+    def read(self, state: np.ndarray) -> np.ndarray:
+        return state.copy()

@@ -1,0 +1,18 @@
+"""Plain waterfall storage as a scheme (ablation baseline, Fig. 3)."""
+
+from __future__ import annotations
+
+from repro.coding.waterfall import WaterfallCode
+from repro.core.scheme import PageCodeScheme
+
+__all__ = ["WaterfallScheme"]
+
+
+class WaterfallScheme(PageCodeScheme):
+    """One bit per 4-level v-cell, no coset freedom — rate 1/3."""
+
+    def __init__(self, page_bits: int, vcell_levels: int = 4) -> None:
+        super().__init__(
+            name=f"Waterfall-{vcell_levels}L",
+            code=WaterfallCode(page_bits, vcell_levels=vcell_levels),
+        )

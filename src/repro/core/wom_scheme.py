@@ -1,0 +1,15 @@
+"""The WOM comparison point (paper Section VI): 2 bits per 4-level v-cell."""
+
+from __future__ import annotations
+
+from repro.coding.wom import WomVCellCode
+from repro.core.scheme import PageCodeScheme
+
+__all__ = ["WomScheme"]
+
+
+class WomScheme(PageCodeScheme):
+    """Rivest-Shamir WOM on v-cells — overall rate 2/3, lifetime gain ~2."""
+
+    def __init__(self, page_bits: int) -> None:
+        super().__init__(name="WOM", code=WomVCellCode(page_bits))

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the Methuselah Flash library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type. Subclasses are grouped by the layer that raises them: the physical
+flash substrate, the FTL, the virtual-cell layer, and the coding layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FlashError(ReproError):
+    """Base class for physical flash substrate errors."""
+
+
+class IllegalTransitionError(FlashError):
+    """A program operation requested a physically impossible cell transition.
+
+    Raised, for example, when a code assuming ideal multi-level cells tries
+    to move an MLC from L1 to L2 (Fig. 2 of the paper), or tries to clear a
+    bit (1 -> 0) without an erase.
+    """
+
+
+class PageProgramError(FlashError):
+    """A page program violated the pages-of-bits interface (e.g. wrong size)."""
+
+
+class BlockWornOutError(FlashError):
+    """A block exceeded its program/erase cycle budget and can no longer be used."""
+
+
+class PartialProgramLimitError(PageProgramError):
+    """A page hit its partial-program (NOP) budget and needs an erase first.
+
+    Real NAND datasheets bound how many times a page may be programmed
+    between erases.  The paper assumes unrestricted program-without-erase
+    (validated on real chips); the simulator models the limit as an
+    optional knob so its impact on rewriting codes can be studied.
+    """
+
+
+class CellSaturatedError(FlashError):
+    """A write required incrementing a cell already at its maximum level."""
+
+
+class FTLError(ReproError):
+    """Base class for flash-translation-layer errors."""
+
+
+class OutOfSpaceError(FTLError):
+    """The FTL ran out of free pages even after garbage collection."""
+
+
+class LogicalAddressError(FTLError):
+    """A logical page address is out of range or unmapped."""
+
+
+class VCellError(ReproError):
+    """Base class for virtual-cell layer errors."""
+
+
+class CodingError(ReproError):
+    """Base class for coding-layer errors."""
+
+
+class UnwritableError(CodingError):
+    """No codeword in the dataword's coset can be written to the current page.
+
+    This is the signal that the page must be erased before it can accept the
+    new dataword; the lifetime simulator counts one erase cycle when it sees
+    this error.
+    """
+
+
+class DecodingError(CodingError):
+    """Stored bits could not be decoded back to a dataword."""
+
+
+class ConfigurationError(ReproError):
+    """A scheme, code, or simulator was configured with invalid parameters."""

@@ -1,0 +1,46 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each experiment has a ``*_data`` function returning plain Python/numpy
+structures and a ``format_*`` function rendering the paper-style rows.  The
+CLI (``python -m repro.experiments <experiment>``) wires them together; the
+benchmark suite (``pytest benchmarks/``) times them and asserts the paper's
+qualitative shapes.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.extensions import run_extensions, format_extensions
+from repro.experiments.figures import (
+    fig1_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    fig14_data,
+    fig15_data,
+    fig16_data,
+    format_rectangles,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_fig16,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "run_table1",
+    "format_table1",
+    "run_extensions",
+    "format_extensions",
+    "fig1_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "fig14_data",
+    "fig15_data",
+    "fig16_data",
+    "format_rectangles",
+    "format_fig13",
+    "format_fig14",
+    "format_fig15",
+    "format_fig16",
+]

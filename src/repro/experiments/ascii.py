@@ -1,0 +1,67 @@
+"""ASCII rendering of the paper's fixed-cost rectangle figures.
+
+Figs. 1, 11 and 12 draw, for each scheme, an origin-anchored rectangle of
+width = lifetime gain and height = host-visible capacity.  This module
+renders the same picture in monospace text so the CLI output looks like
+the figure, not just a table.
+"""
+
+from __future__ import annotations
+
+from repro.core.tradeoff import TradeoffRectangle
+
+__all__ = ["render_rectangles"]
+
+_CORNER_MARKS = "123456789"
+
+
+def render_rectangles(
+    rectangles: list[TradeoffRectangle],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Draw origin-anchored rectangles on a character grid.
+
+    Each scheme's rectangle is outlined and tagged with an index digit at
+    its outer corner; the legend below maps digits to scheme names.
+    """
+    if not rectangles:
+        return "(nothing to draw)"
+    max_gain = max(rect.lifetime_gain for rect in rectangles)
+    max_capacity = max(rect.capacity_fraction for rect in rectangles)
+    if max_gain <= 0 or max_capacity <= 0:
+        return "(degenerate rectangles)"
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+
+    def column(gain: float) -> int:
+        return min(width, max(1, round(gain / max_gain * width)))
+
+    def row(capacity: float) -> int:
+        # Row 0 is the top of the plot.
+        return height - min(height, max(1, round(capacity / max_capacity * height)))
+
+    corners = []
+    for index, rect in enumerate(rectangles):
+        right = column(rect.lifetime_gain)
+        top = row(rect.capacity_fraction)
+        for x in range(0, right + 1):
+            grid[top][x] = "-" if grid[top][x] == " " else "+"
+        for y in range(top, height + 1):
+            grid[y][right] = "|" if grid[y][right] == " " else "+"
+        corners.append((top, right, _CORNER_MARKS[index % len(_CORNER_MARKS)]))
+    # Marks go on last so no outline overwrites them.
+    for top, right, mark in corners:
+        grid[top][right] = mark
+
+    lines = ["capacity"]
+    for y in range(height + 1):
+        prefix = "  ^ " if y == 0 else "  | "
+        lines.append(prefix + "".join(grid[y]).rstrip())
+    lines.append("  +" + "-" * (width + 1) + "-> lifetime gain")
+    legend = [
+        f"    {_CORNER_MARKS[i % len(_CORNER_MARKS)]}: {rect.name} "
+        f"({rect.lifetime_gain:.2f}x life, {rect.capacity_fraction:.3f} C, "
+        f"area {rect.area:.2f})"
+        for i, rect in enumerate(rectangles)
+    ]
+    return "\n".join(lines + legend)

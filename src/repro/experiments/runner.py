@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table1 --page-bytes 4096 --cycles 5
+    python -m repro.experiments fig14
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import extensions, figures, table1
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("table1", "fig1", "fig11", "fig12", "fig13", "fig14", "fig15",
+               "fig16", "extensions")
+
+
+def _run_one(name: str, config: ExperimentConfig) -> str:
+    if name == "table1":
+        return table1.format_table1(table1.run_table1(config))
+    if name == "fig1":
+        return figures.format_rectangles(
+            figures.fig1_data(config), "Fig. 1: equal-cost capacity/lifetime trade-offs"
+        )
+    if name == "fig11":
+        return figures.format_rectangles(
+            figures.fig11_data(config), "Fig. 11: MFCs vs prior work (fixed cost)"
+        )
+    if name == "fig12":
+        return figures.format_rectangles(
+            figures.fig12_data(config), "Fig. 12: all MFCs (fixed cost)"
+        )
+    if name == "fig13":
+        return figures.format_fig13(figures.fig13_data(config))
+    if name == "fig14":
+        return figures.format_fig14(figures.fig14_data(config))
+    if name == "fig15":
+        return figures.format_fig15(figures.fig15_data(config))
+    if name == "fig16":
+        return figures.format_fig16(figures.fig16_data(config))
+    if name == "extensions":
+        return extensions.format_extensions(extensions.run_extensions(config))
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the Methuselah Flash paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    defaults = ExperimentConfig.from_env()
+    parser.add_argument("--page-bytes", type=int, default=defaults.page_bytes,
+                        help="flash page size in bytes (paper: 4096)")
+    parser.add_argument("--cycles", type=int, default=defaults.cycles,
+                        help="erase cycles averaged per scheme")
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--constraint-length", type=int,
+                        default=defaults.constraint_length,
+                        help="trellis size for MFC coset codes (K)")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig(
+        page_bytes=args.page_bytes,
+        cycles=args.cycles,
+        seed=args.seed,
+        constraint_length=args.constraint_length,
+    )
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        start = time.time()
+        output = _run_one(name, config)
+        elapsed = time.time() - start
+        print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
+              f"K={config.constraint_length}, {elapsed:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Physical NAND flash substrate.
+
+This package models real NAND flash at the level the paper cares about:
+
+* cells with a small number of charge levels and a *restricted* set of legal
+  single-program transitions (Fig. 2 of the paper),
+* wordlines that spread one physical cell's bits across multiple pages
+  (one bit on "page x", one on "page y" for MLC),
+* pages of bits as the only program/read granularity, with
+  program-without-erase (PWE) able to set bits 0 -> 1 only,
+* blocks as the only erase granularity, with a finite program/erase budget.
+
+Everything above this package (v-cells, codes, schemes) talks to flash
+exclusively through these interfaces, so any code that runs here would run on
+a real chip that supports PWE.
+"""
+
+from repro.flash.cell import (
+    CellKind,
+    CellModel,
+    SLC,
+    MLC,
+    TLC,
+    IDEAL_MLC,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.page import Page, PageState
+from repro.flash.wordline import Wordline
+from repro.flash.block import Block
+from repro.flash.chip import FlashChip
+from repro.flash.stats import FlashStats
+
+__all__ = [
+    "CellKind",
+    "CellModel",
+    "SLC",
+    "MLC",
+    "TLC",
+    "IDEAL_MLC",
+    "FlashGeometry",
+    "Page",
+    "PageState",
+    "Wordline",
+    "Block",
+    "FlashChip",
+    "FlashStats",
+]

@@ -1,0 +1,90 @@
+"""Blocks: the erase granularity of flash."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BlockWornOutError
+from repro.flash.cell import CellModel
+from repro.flash.page import Page
+from repro.flash.wordline import Wordline
+
+__all__ = ["Block"]
+
+
+class Block:
+    """A block of pages organized into wordlines, erased as a unit.
+
+    Each erase increments the block's wear counter; once ``erase_limit``
+    erases have happened the block is worn out and refuses both programs and
+    further erases.  This is the endurance mechanism the whole paper is
+    about: every scheme's goal is to get more host writes out of each block
+    erase.
+    """
+
+    __slots__ = ("cell", "pages_per_block", "page_bits", "erase_limit",
+                 "wordlines", "pages", "erase_count")
+
+    def __init__(
+        self,
+        cell: CellModel,
+        pages_per_block: int,
+        page_bits: int,
+        erase_limit: int,
+        max_partial_programs: int | None = None,
+    ) -> None:
+        self.cell = cell
+        self.pages_per_block = pages_per_block
+        self.page_bits = page_bits
+        self.erase_limit = erase_limit
+        self.erase_count = 0
+        per_wordline = cell.pages_per_wordline
+        self.pages: list[Page] = [
+            Page(page_bits, max_partial_programs=max_partial_programs)
+            for _ in range(pages_per_block)
+        ]
+        # Consecutive pages share a wordline: pages (0..w-1), (w..2w-1), ...
+        # Real chips interleave x/y pages across the block; the grouping does
+        # not matter for any behavior we model, only the pairing does.
+        self.wordlines: list[Wordline] = [
+            Wordline(cell, self.pages[start : start + per_wordline])
+            for start in range(0, pages_per_block, per_wordline)
+        ]
+
+    @property
+    def worn_out(self) -> bool:
+        """True once the block has used up its program/erase budget."""
+        return self.erase_count >= self.erase_limit
+
+    def wordline_of_page(self, page_index: int) -> tuple[Wordline, int]:
+        """Return (wordline, page index within that wordline) for a page."""
+        per_wordline = self.cell.pages_per_wordline
+        return (
+            self.wordlines[page_index // per_wordline],
+            page_index % per_wordline,
+        )
+
+    def read_page(self, page_index: int) -> np.ndarray:
+        """Read one page's bits."""
+        return self.pages[page_index].read()
+
+    def program_page(self, page_index: int, new_bits: np.ndarray) -> None:
+        """Program one page, enforcing all physical constraints."""
+        if self.worn_out:
+            raise BlockWornOutError(
+                f"block has been erased {self.erase_count} times "
+                f"(limit {self.erase_limit}) and can no longer be programmed"
+            )
+        wordline, within = self.wordline_of_page(page_index)
+        wordline.program_page(within, new_bits)
+
+    def erase(self) -> None:
+        """Erase the whole block, consuming one program/erase cycle."""
+        if self.worn_out:
+            raise BlockWornOutError(
+                f"block has been erased {self.erase_count} times "
+                f"(limit {self.erase_limit}) and can no longer be erased"
+            )
+        for wordline in self.wordlines:
+            wordline.erase()
+        self.erase_count += 1

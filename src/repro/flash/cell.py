@@ -1,0 +1,204 @@
+"""Physical flash cell models.
+
+A :class:`CellModel` describes how one physical cell behaves:
+
+* how many charge levels it has,
+* how each level maps to bits spread across the wordline's pages,
+* which single-program transitions between levels are physically legal.
+
+The paper's central observation (Fig. 2) is that a real MLC does **not**
+support every level increase. The legal transitions of a 4-level MLC are::
+
+    L0 -> L1    (program the x page bit)
+    L0 -> L2    (program the y page bit)
+    L1 -> L3    (program the y page bit)
+    L2 -> L3    (program the x page bit)
+
+`L1 -> L2` is illegal because it would clear the x-page bit (bits may only be
+set, never cleared, without an erase), and `L0 -> L3` is illegal as a single
+program request because it would have to program two pages at once.
+
+We use the convention that an erased bit reads 0 and programming sets bits to
+1 (the paper's convention; a real FTL can invert polarity transparently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, IllegalTransitionError
+
+__all__ = ["CellKind", "CellModel", "SLC", "MLC", "TLC", "IDEAL_MLC"]
+
+
+class CellKind:
+    """Symbolic names for the supported physical cell technologies."""
+
+    SLC = "slc"
+    MLC = "mlc"
+    TLC = "tlc"
+    IDEAL = "ideal"
+
+
+@dataclass(frozen=True)
+class CellModel:
+    """Behavioral model of one physical flash cell technology.
+
+    Parameters
+    ----------
+    kind:
+        One of :class:`CellKind`; purely informational.
+    levels:
+        Number of distinct charge levels (2 for SLC, 4 for MLC, 8 for TLC).
+    level_to_bits:
+        Tuple mapping each level to the tuple of per-page bit values for the
+        cell.  ``level_to_bits[level][page_index]`` is the bit that a cell at
+        ``level`` contributes to page ``page_index`` of its wordline.  Entry
+        0 (the erased level) must be all zeros.
+    single_page_program:
+        If True (real flash), one program operation may change bits on only
+        one page of the wordline; level transitions requiring bit changes on
+        two pages are illegal in a single program.
+    ideal_interface:
+        If True, the cell behaves like the *ideal* multi-level cell assumed
+        by prior coding work: any level increase ``i -> j`` with ``i < j`` is
+        one legal program operation, regardless of the bit mapping.  Real
+        cells keep this False.
+    """
+
+    kind: str
+    levels: int
+    level_to_bits: tuple[tuple[int, ...], ...]
+    single_page_program: bool = True
+    ideal_interface: bool = False
+    _bits_to_level: dict[tuple[int, ...], int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigurationError(f"a cell needs at least 2 levels, got {self.levels}")
+        if len(self.level_to_bits) != self.levels:
+            raise ConfigurationError(
+                f"level_to_bits has {len(self.level_to_bits)} entries "
+                f"for a {self.levels}-level cell"
+            )
+        widths = {len(bits) for bits in self.level_to_bits}
+        if len(widths) != 1:
+            raise ConfigurationError("all level_to_bits entries must have the same width")
+        if any(bit not in (0, 1) for bits in self.level_to_bits for bit in bits):
+            raise ConfigurationError("level_to_bits entries must be 0/1 tuples")
+        if any(self.level_to_bits[0]):
+            raise ConfigurationError("the erased level (L0) must map to all-zero bits")
+        if len(set(self.level_to_bits)) != self.levels:
+            raise ConfigurationError("each level must map to a distinct bit pattern")
+        # Frozen dataclass: populate the reverse map via object.__setattr__.
+        reverse = {bits: level for level, bits in enumerate(self.level_to_bits)}
+        object.__setattr__(self, "_bits_to_level", reverse)
+
+    @property
+    def pages_per_wordline(self) -> int:
+        """How many pages share this cell (1 for SLC, 2 for MLC, 3 for TLC)."""
+        return len(self.level_to_bits[0])
+
+    def bits_of_level(self, level: int) -> tuple[int, ...]:
+        """Return the per-page bits a cell at ``level`` exposes."""
+        if not 0 <= level < self.levels:
+            raise ConfigurationError(f"level {level} out of range for {self.levels}-level cell")
+        return self.level_to_bits[level]
+
+    def level_of_bits(self, bits: tuple[int, ...]) -> int:
+        """Return the level encoded by ``bits``, one bit per wordline page."""
+        try:
+            return self._bits_to_level[tuple(bits)]
+        except KeyError:
+            raise IllegalTransitionError(
+                f"bit pattern {bits} does not correspond to any level of a "
+                f"{self.kind} cell"
+            ) from None
+
+    def is_legal_transition(self, current: int, target: int) -> bool:
+        """Whether a *single program operation* can move ``current -> target``.
+
+        Staying at the same level is always legal (programming nothing).
+        A transition is legal when charge only increases (no bit is cleared)
+        and, for real cells (``single_page_program``), the changed bits all
+        live on one page.
+        """
+        if current == target:
+            return True
+        if not 0 <= current < self.levels or not 0 <= target < self.levels:
+            return False
+        if self.ideal_interface:
+            return target > current
+        cur_bits = self.level_to_bits[current]
+        tgt_bits = self.level_to_bits[target]
+        changed_pages = [
+            page
+            for page, (cur, tgt) in enumerate(zip(cur_bits, tgt_bits))
+            if cur != tgt
+        ]
+        if any(cur_bits[page] == 1 for page in changed_pages):
+            return False  # would clear a bit: needs an erase
+        if self.single_page_program and len(changed_pages) > 1:
+            return False  # would program two pages in one request
+        return True
+
+    def legal_targets(self, current: int) -> tuple[int, ...]:
+        """All levels reachable from ``current`` in one program operation."""
+        return tuple(
+            target
+            for target in range(self.levels)
+            if target != current and self.is_legal_transition(current, target)
+        )
+
+    def check_transition(self, current: int, target: int) -> None:
+        """Raise :class:`IllegalTransitionError` unless the transition is legal."""
+        if not self.is_legal_transition(current, target):
+            raise IllegalTransitionError(
+                f"{self.kind} cell cannot move from L{current} to L{target} "
+                f"in a single program operation"
+            )
+
+
+def _binary_bits(value: int, width: int) -> tuple[int, ...]:
+    """Little-endian bit tuple of ``value``: index i is the page-i bit."""
+    return tuple((value >> i) & 1 for i in range(width))
+
+
+#: Single-level cell: 2 levels, 1 page, the trivial mapping.
+SLC = CellModel(
+    kind=CellKind.SLC,
+    levels=2,
+    level_to_bits=((0,), (1,)),
+)
+
+#: The paper's realistic MLC (Fig. 2): bits are (page_x, page_y);
+#: L0=00, L1=10, L2=01, L3=11 makes exactly {L0->L1, L0->L2, L1->L3, L2->L3}
+#: legal and L1->L2 / single-shot L0->L3 illegal.
+MLC = CellModel(
+    kind=CellKind.MLC,
+    levels=4,
+    level_to_bits=((0, 0), (1, 0), (0, 1), (1, 1)),
+)
+
+#: TLC modeled as 3 pages sharing a cell; level = binary value of the three
+#: bits, transitions restricted to monotone single-page bit sets.  The paper
+#: does not rely on TLC transition details; see DESIGN.md.
+TLC = CellModel(
+    kind=CellKind.TLC,
+    levels=8,
+    level_to_bits=tuple(_binary_bits(value, 3) for value in range(8)),
+)
+
+#: The *ideal* MLC assumed by prior endurance-coding work: any monotone level
+#: increase is a legal single program.  The bit mapping is fictional (no real
+#: chip provides this interface); it exists so tests and examples can show
+#: which codes silently depend on it.
+IDEAL_MLC = CellModel(
+    kind=CellKind.IDEAL,
+    levels=4,
+    level_to_bits=((0, 0), (1, 0), (0, 1), (1, 1)),
+    single_page_program=False,
+    ideal_interface=True,
+)

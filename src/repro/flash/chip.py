@@ -1,0 +1,112 @@
+"""A whole flash chip: blocks of pages, plus operation accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LogicalAddressError
+from repro.flash.block import Block
+from repro.flash.geometry import FlashGeometry
+from repro.flash.noise import WearNoiseModel
+from repro.flash.stats import FlashStats
+
+__all__ = ["FlashChip"]
+
+
+class FlashChip:
+    """A flash chip exposing the interface real chips give the FTL.
+
+    Operations are addressed by ``(block_index, page_index)``.  The chip
+    enforces every physical constraint through its blocks/wordlines/pages
+    and records operation counts in :attr:`stats`.
+
+    Parameters
+    ----------
+    geometry:
+        Chip organization; defaults to a small MLC chip.
+    noise_model:
+        Optional :class:`~repro.flash.noise.WearNoiseModel`.  When set,
+        *normal* page reads return wear-appropriately corrupted copies;
+        callers that model the controller's high-precision internal sensing
+        (e.g. the FTL's read-modify-write path) pass ``noisy=False``.
+    noise_seed:
+        Seed for the noise stream (reads stay reproducible).
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry | None = None,
+        noise_model: WearNoiseModel | None = None,
+        noise_seed: int = 0,
+    ) -> None:
+        self.geometry = geometry or FlashGeometry()
+        self.noise_model = noise_model
+        self._noise_rng = np.random.default_rng(noise_seed)
+        self.blocks: list[Block] = [
+            Block(
+                cell=self.geometry.cell,
+                pages_per_block=self.geometry.pages_per_block,
+                page_bits=self.geometry.page_bits,
+                erase_limit=self.geometry.erase_limit,
+                max_partial_programs=self.geometry.max_partial_programs,
+            )
+            for _ in range(self.geometry.blocks)
+        ]
+        self.stats = FlashStats()
+
+    def _block(self, block_index: int) -> Block:
+        if not 0 <= block_index < len(self.blocks):
+            raise LogicalAddressError(
+                f"chip has {len(self.blocks)} blocks, no block {block_index}"
+            )
+        return self.blocks[block_index]
+
+    def _check_page(self, block: Block, page_index: int) -> None:
+        if not 0 <= page_index < block.pages_per_block:
+            raise LogicalAddressError(
+                f"blocks have {block.pages_per_block} pages, no page {page_index}"
+            )
+
+    def read_page(
+        self, block_index: int, page_index: int, *, noisy: bool = True
+    ) -> np.ndarray:
+        """Read the bits of one physical page.
+
+        With a noise model attached, ``noisy=True`` (the default) injects
+        wear-dependent bit errors; ``noisy=False`` models the controller's
+        precise internal sensing and always returns the true bits.
+        """
+        block = self._block(block_index)
+        self._check_page(block, page_index)
+        self.stats.record_read()
+        bits = block.read_page(page_index)
+        if self.noise_model is not None and noisy:
+            bits = self.noise_model.corrupt(
+                bits, block.erase_count, self._noise_rng
+            )
+        return bits
+
+    def program_page(
+        self, block_index: int, page_index: int, new_bits: np.ndarray
+    ) -> None:
+        """Program one physical page (program-without-erase permitted)."""
+        block = self._block(block_index)
+        self._check_page(block, page_index)
+        before = int(block.pages[page_index].bits.sum())
+        block.program_page(page_index, new_bits)
+        after = int(block.pages[page_index].bits.sum())
+        self.stats.record_program(after - before)
+
+    def erase_block(self, block_index: int) -> None:
+        """Erase one block, consuming a program/erase cycle."""
+        self._block(block_index).erase()
+        self.stats.record_erase(block_index)
+
+    def block_erase_counts(self) -> list[int]:
+        """Per-block erase counts (wear profile of the chip)."""
+        return [block.erase_count for block in self.blocks]
+
+    @property
+    def live_blocks(self) -> int:
+        """Number of blocks still within their erase budget."""
+        return sum(1 for block in self.blocks if not block.worn_out)

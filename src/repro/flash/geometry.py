@@ -1,0 +1,64 @@
+"""Chip geometry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.flash.cell import CellModel, MLC
+
+__all__ = ["FlashGeometry"]
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Static description of a flash chip's organization.
+
+    Real chips have 128-256 pages per block and 4-16 KB pages; the defaults
+    here are a small MLC chip so unit tests stay fast.  ``page_bits`` is the
+    raw number of bit positions per page (the paper's 4 KB page is
+    ``page_bits=32768``).
+
+    The number of wordlines per block is ``pages_per_block /
+    cell.pages_per_wordline``; each wordline holds ``page_bits`` cells whose
+    bits are spread over its pages.
+    """
+
+    blocks: int = 8
+    pages_per_block: int = 16
+    page_bits: int = 4096
+    cell: CellModel = MLC
+    erase_limit: int = 3000
+    #: Optional NOP limit: partial programs allowed per page between erases.
+    #: None (the paper's validated PWE assumption) means unrestricted.
+    max_partial_programs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ConfigurationError("need at least one block")
+        if self.page_bits < 1:
+            raise ConfigurationError("pages must hold at least one bit")
+        if self.erase_limit < 1:
+            raise ConfigurationError("erase_limit must be positive")
+        if self.max_partial_programs is not None and self.max_partial_programs < 1:
+            raise ConfigurationError("max_partial_programs must be positive")
+        if self.pages_per_block % self.cell.pages_per_wordline != 0:
+            raise ConfigurationError(
+                f"pages_per_block ({self.pages_per_block}) must be a multiple "
+                f"of pages per wordline ({self.cell.pages_per_wordline})"
+            )
+
+    @property
+    def wordlines_per_block(self) -> int:
+        """Number of wordlines in each block."""
+        return self.pages_per_block // self.cell.pages_per_wordline
+
+    @property
+    def total_pages(self) -> int:
+        """Total raw pages on the chip."""
+        return self.blocks * self.pages_per_block
+
+    @property
+    def raw_bits(self) -> int:
+        """Total raw bit capacity of the chip."""
+        return self.total_pages * self.page_bits

@@ -1,0 +1,71 @@
+"""Wear-dependent bit-error injection.
+
+Flash raw bit error rates grow with program/erase cycling (the paper cites
+Grupp et al.'s characterization and requires codes to coexist with ECC,
+Section V.B).  This module provides a simple exponential wear model
+
+    BER(cycles) = floor_ber * exp(growth * cycles / rated_cycles)
+
+and helpers to corrupt page reads accordingly.  It exists so the ECC
+integration can be exercised against a *reason* for errors rather than
+hand-placed flips.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WearNoiseModel"]
+
+
+@dataclass(frozen=True)
+class WearNoiseModel:
+    """Raw bit-error-rate model as a function of block wear.
+
+    Parameters
+    ----------
+    floor_ber:
+        Error rate of a fresh block (per bit, per read).
+    growth:
+        Exponent scale: BER multiplies by ``e^growth`` over the rated life.
+    rated_cycles:
+        The block's nominal endurance (cycles at which BER has grown by
+        ``e^growth``).
+    """
+
+    floor_ber: float = 1e-6
+    growth: float = 6.0
+    rated_cycles: int = 3000
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.floor_ber < 1:
+            raise ConfigurationError("floor_ber must be a probability")
+        if self.rated_cycles < 1:
+            raise ConfigurationError("rated_cycles must be positive")
+
+    def ber(self, erase_count: int) -> float:
+        """Raw bit error rate for a block with ``erase_count`` cycles."""
+        exponent = self.growth * erase_count / self.rated_cycles
+        if exponent > 700:  # exp() would overflow; the cap applies anyway
+            return 0.5
+        return min(self.floor_ber * math.exp(exponent), 0.5)
+
+    def corrupt(
+        self,
+        bits: np.ndarray,
+        erase_count: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return a copy of ``bits`` with wear-appropriate random flips."""
+        rate = self.ber(erase_count)
+        flips = rng.random(len(bits)) < rate
+        return np.asarray(bits, dtype=np.uint8) ^ flips.astype(np.uint8)
+
+    def expected_errors(self, page_bits: int, erase_count: int) -> float:
+        """Expected raw errors in one page read at the given wear."""
+        return page_bits * self.ber(erase_count)

@@ -1,0 +1,146 @@
+"""Wordlines: groups of pages whose bits share physical cells.
+
+A single MLC stores one bit on "page x" and one bit on "page y" of the same
+block (paper, Section II).  The :class:`Wordline` couples those pages and
+enforces the *cell-level* half of the physical interface: any page program
+must correspond to a legal transition of every affected cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import IllegalTransitionError, PageProgramError
+from repro.flash.cell import CellModel
+from repro.flash.page import Page
+
+__all__ = ["Wordline"]
+
+
+class Wordline:
+    """``cell.pages_per_wordline`` pages sharing one row of physical cells.
+
+    Page ``0`` is the paper's "page x", page ``1`` is "page y" (and page
+    ``2`` exists for TLC).  Each of the ``page_bits`` cell positions takes
+    one bit from each page; the combined bit tuple determines the cell's
+    charge level via the :class:`~repro.flash.cell.CellModel`.
+    """
+
+    __slots__ = ("cell", "pages", "_pattern_to_level", "_legal", "_weights")
+
+    def __init__(self, cell: CellModel, pages: Sequence[Page]) -> None:
+        if len(pages) != cell.pages_per_wordline:
+            raise PageProgramError(
+                f"{cell.kind} wordlines need {cell.pages_per_wordline} pages, "
+                f"got {len(pages)}"
+            )
+        widths = {page.page_bits for page in pages}
+        if len(widths) != 1:
+            raise PageProgramError("all pages of a wordline must be the same size")
+        self.cell = cell
+        self.pages = tuple(pages)
+        # pattern index = sum(bit[page] << page); -1 marks invalid patterns.
+        num_patterns = 1 << cell.pages_per_wordline
+        pattern_to_level = np.full(num_patterns, -1, dtype=np.int16)
+        for level, bits in enumerate(cell.level_to_bits):
+            index = sum(bit << page for page, bit in enumerate(bits))
+            pattern_to_level[index] = level
+        self._pattern_to_level = pattern_to_level
+        legal = np.zeros((cell.levels, cell.levels), dtype=bool)
+        for current in range(cell.levels):
+            for target in range(cell.levels):
+                legal[current, target] = cell.is_legal_transition(current, target)
+        self._legal = legal
+        self._weights = (1 << np.arange(cell.pages_per_wordline)).astype(np.int64)
+
+    @property
+    def page_bits(self) -> int:
+        return self.pages[0].page_bits
+
+    def _levels_of(self, bit_rows: np.ndarray) -> np.ndarray:
+        """Map a (pages, page_bits) bit matrix to per-cell levels."""
+        patterns = (bit_rows.astype(np.int64).T @ self._weights)
+        levels = self._pattern_to_level[patterns]
+        if (levels < 0).any():
+            bad = int(np.flatnonzero(levels < 0)[0])
+            raise IllegalTransitionError(
+                f"cell {bad} holds bit pattern with no defined level for a "
+                f"{self.cell.kind} cell"
+            )
+        return levels
+
+    def read_levels(self) -> np.ndarray:
+        """Current charge level of every cell on the wordline."""
+        rows = np.stack([page.bits for page in self.pages])
+        return self._levels_of(rows)
+
+    def program_page(self, page_index: int, new_bits: np.ndarray) -> None:
+        """Program one page of the wordline (a single program request).
+
+        Validates bit monotonicity (via the page) *and* that every cell's
+        implied level transition is physically legal, then commits.
+        """
+        if not 0 <= page_index < len(self.pages):
+            raise PageProgramError(f"wordline has no page {page_index}")
+        page = self.pages[page_index]
+        target = page.validate_program(new_bits)
+        current_rows = np.stack([p.bits for p in self.pages])
+        proposed_rows = current_rows.copy()
+        proposed_rows[page_index] = target
+        current_levels = self._levels_of(current_rows)
+        proposed_levels = self._levels_of(proposed_rows)
+        ok = self._legal[current_levels, proposed_levels]
+        if not ok.all():
+            bad = int(np.flatnonzero(~ok)[0])
+            raise IllegalTransitionError(
+                f"programming page {page_index} would move cell {bad} from "
+                f"L{current_levels[bad]} to L{proposed_levels[bad]}, which a "
+                f"{self.cell.kind} cell does not support"
+            )
+        page.apply_program(target)
+
+    def program_levels(self, target_levels: np.ndarray) -> None:
+        """Move every cell to ``target_levels`` using one program per page.
+
+        This is the operation an *ideal-cell* code believes is always
+        available.  On a real cell model it raises
+        :class:`IllegalTransitionError` whenever any requested per-cell
+        transition is not a legal single-program move (e.g. MLC L1 -> L2) or
+        would need bits on two pages to change while the model allows only
+        one page per program request for that step.
+
+        On the ideal cell model every monotone move succeeds, implemented as
+        one program per page of the wordline.
+        """
+        targets = np.asarray(target_levels)
+        if targets.shape != (self.page_bits,):
+            raise PageProgramError(
+                f"target_levels must have shape ({self.page_bits},)"
+            )
+        current_levels = self.read_levels()
+        ok = self._legal[current_levels, targets]
+        if not ok.all():
+            bad = int(np.flatnonzero(~ok)[0])
+            raise IllegalTransitionError(
+                f"cell {bad}: L{current_levels[bad]} -> L{targets[bad]} is not "
+                f"a legal single-program transition on a {self.cell.kind} cell"
+            )
+        level_bits = np.array(self.cell.level_to_bits, dtype=np.uint8)
+        new_rows = level_bits[targets].T  # (pages, page_bits)
+        for page_index, page in enumerate(self.pages):
+            row = np.ascontiguousarray(new_rows[page_index])
+            if np.array_equal(row, page.bits):
+                continue  # nothing to program on this page
+            if self.cell.ideal_interface:
+                # Ideal cells have no physical bit constraints; the bit
+                # mapping is bookkeeping only.
+                page.apply_program(row)
+            else:
+                page.apply_program(page.validate_program(row))
+
+    def erase(self) -> None:
+        """Erase all pages of the wordline (driven by the block erase)."""
+        for page in self.pages:
+            page.erase()

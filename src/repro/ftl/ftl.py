@@ -1,0 +1,277 @@
+"""The baseline log-structured FTL (out-of-place updates, GC, wear leveling)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    BlockWornOutError,
+    CodingError,
+    FTLError,
+    OutOfSpaceError,
+)
+from repro.flash.chip import FlashChip
+from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
+from repro.ftl.mapping import PageMapping, PhysicalPageState
+from repro.ftl.wear_leveling import DynamicWearLeveling, WearLevelingPolicy
+
+__all__ = ["BasicFTL", "FTLStats"]
+
+
+@dataclass
+class FTLStats:
+    """Host-visible operation accounting for an FTL."""
+
+    host_writes: int = 0
+    host_reads: int = 0
+    in_place_rewrites: int = 0
+    relocations: int = 0
+    gc_relocations: int = 0
+    gc_runs: int = 0
+    migrations: int = 0
+    retired_blocks: int = 0
+
+    def summary(self) -> dict[str, int]:
+        """Flat dict of all counters, for printing or logging."""
+        return dict(self.__dict__)
+
+
+class BasicFTL:
+    """A classic page-mapped FTL over a :class:`~repro.flash.chip.FlashChip`.
+
+    Every host write of a logical page consumes one fresh physical page (no
+    program-without-erase).  Subclasses override :meth:`_store` /
+    :meth:`_load` to insert coding layers.
+
+    Parameters
+    ----------
+    chip:
+        The flash chip to manage.
+    logical_pages:
+        Host-visible address space; must fit within the chip minus
+        ``reserve_blocks`` of over-provisioning.
+    victim_policy / wear_leveling:
+        Pluggable GC and allocation policies.
+    reserve_blocks:
+        Blocks withheld from the logical capacity so GC always has room.
+    wl_check_interval:
+        Host writes between static wear-leveling checks (policies whose
+        ``wants_migration`` returns True get cold data migrated off the
+        least-worn block so it rejoins the allocation rotation).
+    """
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        logical_pages: int,
+        victim_policy: VictimPolicy | None = None,
+        wear_leveling: WearLevelingPolicy | None = None,
+        reserve_blocks: int = 1,
+        wl_check_interval: int = 32,
+    ) -> None:
+        geometry = chip.geometry
+        if reserve_blocks < 1:
+            raise FTLError("need at least one reserve block for GC")
+        usable_pages = (geometry.blocks - reserve_blocks) * geometry.pages_per_block
+        if logical_pages > usable_pages:
+            raise FTLError(
+                f"{logical_pages} logical pages exceed usable capacity "
+                f"{usable_pages} ({reserve_blocks} blocks reserved)"
+            )
+        self.chip = chip
+        self.mapping = PageMapping(
+            logical_pages, geometry.blocks, geometry.pages_per_block
+        )
+        self.victim_policy = victim_policy or GreedyVictimPolicy()
+        self.wear_leveling = wear_leveling or DynamicWearLeveling()
+        self.reserve_blocks = reserve_blocks
+        self.stats = FTLStats()
+        self._free_blocks: set[int] = set(range(geometry.blocks))
+        self._retired: set[int] = set()
+        self._open_block: int | None = None
+        self._next_page: int = 0
+        self._in_gc = False
+        self.wl_check_interval = wl_check_interval
+        self._writes_since_wl_check = 0
+
+    # -- storage hooks (overridden by coding FTLs) ---------------------------
+
+    @property
+    def dataword_bits(self) -> int:
+        """Host-visible bits per logical page."""
+        return self.chip.geometry.page_bits
+
+    def _store(self, data: np.ndarray, current: np.ndarray | None) -> np.ndarray:
+        """Encode ``data`` for storage; ``current`` is the page's bits when
+        attempting an in-place rewrite, else None (fresh page)."""
+        if current is not None:
+            raise CodingError("uncoded pages cannot be rewritten in place")
+        return np.asarray(data, dtype=np.uint8)
+
+    def _load(self, raw: np.ndarray) -> np.ndarray:
+        """Decode stored page bits back to host data."""
+        return raw
+
+    # -- host interface ------------------------------------------------------
+
+    def write(self, lpn: int, data: np.ndarray) -> None:
+        """Write one logical page."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.dataword_bits,):
+            raise CodingError(
+                f"logical pages hold {self.dataword_bits} bits, got {data.shape}"
+            )
+        self._write_out_of_place(lpn, data, count_relocation=False)
+        self.stats.host_writes += 1
+        self._maybe_static_migration()
+
+    def read(self, lpn: int) -> np.ndarray:
+        """Read one logical page (zeros if never written)."""
+        addr = self.mapping.lookup(lpn)
+        self.stats.host_reads += 1
+        if addr is None:
+            return np.zeros(self.dataword_bits, dtype=np.uint8)
+        return self._load(self.chip.read_page(*addr))
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (the host's TRIM/deallocate command).
+
+        The physical page becomes garbage immediately, so GC can reclaim
+        its block without relocating it — the write-amplification benefit
+        TRIM exists for.  Reading a trimmed page returns zeros.
+        """
+        addr = self.mapping.lookup(lpn)
+        if addr is not None:
+            self.mapping.invalidate(addr)
+
+    # -- internals -----------------------------------------------------------
+
+    def _write_out_of_place(
+        self, lpn: int, data: np.ndarray, count_relocation: bool
+    ) -> None:
+        addr = self._allocate_page()
+        encoded = self._store(data, current=None)
+        self.chip.program_page(addr[0], addr[1], encoded)
+        self.mapping.map(lpn, addr)
+        if count_relocation:
+            self.stats.relocations += 1
+
+    def _allocate_page(self) -> tuple[int, int]:
+        geometry = self.chip.geometry
+        if self._open_block is not None and self._next_page < geometry.pages_per_block:
+            addr = (self._open_block, self._next_page)
+            self._next_page += 1
+            return addr
+        self._open_block = None
+        if not self._free_blocks and not self._in_gc:
+            self._garbage_collect(target_free=1)
+        if not self._free_blocks:
+            raise OutOfSpaceError(
+                "no free blocks remain (device worn out or over-full)"
+            )
+        erase_counts = self.chip.block_erase_counts()
+        block = self.wear_leveling.choose_block(
+            sorted(self._free_blocks), erase_counts
+        )
+        self._free_blocks.discard(block)
+        self._open_block = block
+        self._next_page = 1
+        if not self._in_gc and len(self._free_blocks) < self.reserve_blocks:
+            # Proactively reclaim so GC relocations always have headroom.
+            self._garbage_collect(target_free=self.reserve_blocks)
+        return (block, 0)
+
+    def _gc_candidates(self) -> list[int]:
+        """Closed blocks that hold at least one invalid page."""
+        return [
+            block
+            for block in range(self.chip.geometry.blocks)
+            if block not in self._free_blocks
+            and block not in self._retired
+            and block != self._open_block
+            and self.mapping.invalid_pages_in_block(block) > 0
+        ]
+
+    def _garbage_collect(self, target_free: int = 1) -> None:
+        self._in_gc = True
+        try:
+            while len(self._free_blocks) < target_free:
+                candidates = self._gc_candidates()
+                erase_counts = self.chip.block_erase_counts()
+                victim = self.victim_policy.choose(
+                    candidates, self.mapping, erase_counts
+                )
+                if victim is None:
+                    return
+                self.stats.gc_runs += 1
+                self._reclaim_block(victim)
+        finally:
+            self._in_gc = False
+
+    def _reclaim_block(self, victim: int) -> None:
+        """Relocate live pages off ``victim`` and erase (or retire) it."""
+        for addr in self.mapping.live_pages_in_block(victim):
+            lpn = self.mapping.owner(addr)
+            # Internal relocation read: precise sensing, never noisy.
+            data = self._load(self.chip.read_page(*addr, noisy=False))
+            # Map-then-invalidate: mapping.map atomically supersedes the old
+            # location, so an allocation failure here never strands data.
+            self._write_out_of_place(lpn, data, count_relocation=True)
+            self.stats.gc_relocations += 1
+        try:
+            self.chip.erase_block(victim)
+        except BlockWornOutError:
+            self._retired.add(victim)
+            self.stats.retired_blocks += 1
+            return
+        self.mapping.release_block(victim)
+        if self.chip.blocks[victim].worn_out:
+            # That was the block's final permitted cycle; retire it rather
+            # than hand out pages that can no longer be programmed.
+            self._retired.add(victim)
+            self.stats.retired_blocks += 1
+            return
+        self._free_blocks.add(victim)
+
+    def _maybe_static_migration(self) -> None:
+        """Periodically let the wear-leveling policy force cold data moving.
+
+        Blocks full of cold (never-rewritten) data are invisible to GC —
+        their pages stay valid, so their erase counts stall while hot
+        blocks cycle.  Static wear leveling reclaims the least-worn closed
+        block when the policy reports the wear spread is too wide, pulling
+        it back into the allocation rotation.
+        """
+        self._writes_since_wl_check += 1
+        if self._writes_since_wl_check < self.wl_check_interval:
+            return
+        self._writes_since_wl_check = 0
+        erase_counts = self.chip.block_erase_counts()
+        candidates = [
+            block
+            for block in range(self.chip.geometry.blocks)
+            if block not in self._free_blocks
+            and block not in self._retired
+            and block != self._open_block
+        ]
+        active = [erase_counts[b] for b in candidates] + [
+            erase_counts[b] for b in self._free_blocks
+        ]
+        if not candidates or not self.wear_leveling.wants_migration(active):
+            return
+        coldest = min(candidates, key=lambda block: erase_counts[block])
+        self.stats.migrations += 1
+        self._reclaim_block(coldest)
+
+    @property
+    def live_capacity_pages(self) -> int:
+        """Physical pages still usable (excludes retired blocks)."""
+        geometry = self.chip.geometry
+        return (geometry.blocks - len(self._retired)) * geometry.pages_per_block
+
+    @property
+    def retired_blocks(self) -> frozenset[int]:
+        """Blocks taken out of service after exhausting their erase budget."""
+        return frozenset(self._retired)

@@ -1,0 +1,68 @@
+"""Garbage-collection victim selection policies."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.ftl.mapping import PageMapping
+
+__all__ = ["VictimPolicy", "GreedyVictimPolicy", "CostBenefitVictimPolicy"]
+
+
+class VictimPolicy(abc.ABC):
+    """Chooses which block to reclaim when the FTL runs low on free pages."""
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        candidates: list[int],
+        mapping: PageMapping,
+        erase_counts: list[int],
+    ) -> int | None:
+        """Pick a victim from ``candidates`` (block indices) or None."""
+
+
+class GreedyVictimPolicy(VictimPolicy):
+    """Reclaim the block with the most invalid pages (classic greedy GC)."""
+
+    def choose(
+        self,
+        candidates: list[int],
+        mapping: PageMapping,
+        erase_counts: list[int],
+    ) -> int | None:
+        best = None
+        best_invalid = 0
+        for block in candidates:
+            invalid = mapping.invalid_pages_in_block(block)
+            if invalid > best_invalid:
+                best, best_invalid = block, invalid
+        return best
+
+
+class CostBenefitVictimPolicy(VictimPolicy):
+    """Weight reclaimed space against relocation cost and block wear.
+
+    Score = invalid pages / (1 + live pages), tie-broken toward less-worn
+    blocks so reclamation itself does not concentrate wear.
+    """
+
+    def choose(
+        self,
+        candidates: list[int],
+        mapping: PageMapping,
+        erase_counts: list[int],
+    ) -> int | None:
+        best = None
+        best_score = 0.0
+        for block in candidates:
+            invalid = mapping.invalid_pages_in_block(block)
+            if invalid == 0:
+                continue
+            live = len(mapping.live_pages_in_block(block))
+            score = invalid / (1 + live)
+            # Prefer less-worn blocks on near ties.
+            score -= erase_counts[block] * 1e-6
+            if best is None or score > best_score:
+                best, best_score = block, score
+        return best

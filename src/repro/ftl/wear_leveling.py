@@ -1,0 +1,58 @@
+"""Wear-leveling policies (paper Section IX — complementary to coding).
+
+Wear leveling decides *which free block* receives new data so erases spread
+evenly.  ``NoWearLeveling`` allocates in fixed index order (hot logical
+pages then concentrate wear), ``DynamicWearLeveling`` always picks the
+least-worn free block, and ``StaticWearLeveling`` additionally migrates cold
+data out of under-worn blocks when the wear spread exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["WearLevelingPolicy", "NoWearLeveling", "DynamicWearLeveling",
+           "StaticWearLeveling"]
+
+
+class WearLevelingPolicy(abc.ABC):
+    """Chooses the next block to open for writes."""
+
+    @abc.abstractmethod
+    def choose_block(self, free_blocks: list[int], erase_counts: list[int]) -> int:
+        """Pick one of ``free_blocks`` (non-empty)."""
+
+    def wants_migration(self, erase_counts: list[int]) -> bool:
+        """Whether the FTL should proactively relocate cold data now."""
+        return False
+
+
+class NoWearLeveling(WearLevelingPolicy):
+    """Always allocate the lowest-index free block."""
+
+    def choose_block(self, free_blocks: list[int], erase_counts: list[int]) -> int:
+        return min(free_blocks)
+
+
+class DynamicWearLeveling(WearLevelingPolicy):
+    """Allocate the free block with the fewest erases."""
+
+    def choose_block(self, free_blocks: list[int], erase_counts: list[int]) -> int:
+        return min(free_blocks, key=lambda block: (erase_counts[block], block))
+
+
+class StaticWearLeveling(DynamicWearLeveling):
+    """Dynamic allocation plus periodic cold-data migration.
+
+    When the gap between the most- and least-worn blocks exceeds
+    ``threshold`` erases, the FTL migrates the live data of the least-worn
+    block (presumed cold) so that block rejoins the allocation pool.
+    """
+
+    def __init__(self, threshold: int = 8) -> None:
+        self.threshold = threshold
+
+    def wants_migration(self, erase_counts: list[int]) -> bool:
+        if not erase_counts:
+            return False
+        return max(erase_counts) - min(erase_counts) > self.threshold

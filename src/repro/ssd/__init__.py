@@ -1,0 +1,39 @@
+"""Device-level SSD simulation (extension of the paper's page-level study).
+
+The paper motivates endurance coding with embedded systems and datacenter
+SSDs; this package closes the loop by running whole-device simulations —
+chip + FTL + rewriting scheme + workload — and measuring how page-level
+lifetime gains translate to device lifetime (total host writes before the
+device runs out of usable blocks), including the interaction with wear
+leveling that Section IX discusses.
+"""
+
+from repro.ssd.workload import (
+    Workload,
+    UniformWorkload,
+    HotColdWorkload,
+    ZipfWorkload,
+    SequentialWorkload,
+)
+from repro.ssd.device import SSD
+from repro.ssd.array import StripedDevice
+from repro.ssd.simulator import DeviceLifetimeResult, run_until_death
+from repro.ssd.report import format_device_report
+from repro.ssd.trace import TraceWorkload, load_trace, record_trace, save_trace
+
+__all__ = [
+    "Workload",
+    "UniformWorkload",
+    "HotColdWorkload",
+    "ZipfWorkload",
+    "SequentialWorkload",
+    "SSD",
+    "StripedDevice",
+    "DeviceLifetimeResult",
+    "run_until_death",
+    "format_device_report",
+    "TraceWorkload",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.ssd`` entry point."""
+
+from repro.ssd.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""A complete simulated SSD: chip + FTL + rewriting scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.factory import make_scheme
+from repro.errors import ConfigurationError
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.flash.noise import WearNoiseModel
+from repro.ftl.ftl import BasicFTL
+from repro.ftl.gc import VictimPolicy
+from repro.ftl.rewriting_ftl import RewritingFTL
+from repro.ftl.wear_leveling import WearLevelingPolicy
+
+__all__ = ["SSD"]
+
+
+class SSD:
+    """A device assembling the full stack for a chosen scheme.
+
+    ``scheme="uncoded"`` gives the classic log-structured device (one fresh
+    page per host write); any page-granularity scheme name accepted by
+    :func:`repro.core.factory.make_scheme` enables the rewriting FTL.
+
+    ``utilization`` sets how much of the (rate-adjusted) capacity is exposed
+    as logical pages; the rest is over-provisioning for GC.
+
+    ``noise_model`` attaches wear-dependent read noise to the chip: host
+    reads then see raw bit errors, which only ECC-integrated schemes
+    (``mfc-ecc``) survive — the Section V.B argument at device level.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry | None = None,
+        scheme: str = "uncoded",
+        utilization: float = 0.8,
+        victim_policy: VictimPolicy | None = None,
+        wear_leveling: WearLevelingPolicy | None = None,
+        reserve_blocks: int = 1,
+        noise_model: WearNoiseModel | None = None,
+        noise_seed: int = 0,
+        **scheme_kwargs,
+    ) -> None:
+        if not 0 < utilization <= 1:
+            raise ConfigurationError("utilization must lie in (0, 1]")
+        self.geometry = geometry or FlashGeometry()
+        self.chip = FlashChip(self.geometry, noise_model=noise_model,
+                              noise_seed=noise_seed)
+        self.scheme_name = scheme.lower()
+        usable_pages = (
+            self.geometry.blocks - reserve_blocks
+        ) * self.geometry.pages_per_block
+        logical_pages = max(1, int(usable_pages * utilization))
+        if self.scheme_name == "uncoded":
+            self.scheme = None
+            self.ftl: BasicFTL = BasicFTL(
+                self.chip,
+                logical_pages,
+                victim_policy=victim_policy,
+                wear_leveling=wear_leveling,
+                reserve_blocks=reserve_blocks,
+            )
+        else:
+            self.scheme = make_scheme(
+                self.scheme_name, self.geometry.page_bits, **scheme_kwargs
+            )
+            self.ftl = RewritingFTL(
+                self.chip,
+                self.scheme,
+                logical_pages,
+                victim_policy=victim_policy,
+                wear_leveling=wear_leveling,
+                reserve_blocks=reserve_blocks,
+            )
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.mapping.logical_pages
+
+    @property
+    def logical_page_bits(self) -> int:
+        """Host-visible bits per logical page (smaller for coded devices)."""
+        return self.ftl.dataword_bits
+
+    @property
+    def host_visible_bits(self) -> int:
+        return self.logical_pages * self.logical_page_bits
+
+    def write(self, lpn: int, data: np.ndarray) -> None:
+        self.ftl.write(lpn, data)
+
+    def read(self, lpn: int) -> np.ndarray:
+        return self.ftl.read(lpn)
+
+    def wear_spread(self) -> int:
+        """Max minus min per-block erase count (wear-leveling quality)."""
+        counts = self.chip.block_erase_counts()
+        return max(counts) - min(counts)

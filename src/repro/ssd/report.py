@@ -1,0 +1,30 @@
+"""Human-readable reports for device simulations."""
+
+from __future__ import annotations
+
+from repro.ssd.simulator import DeviceLifetimeResult
+
+__all__ = ["format_device_report"]
+
+
+def format_device_report(results: list[DeviceLifetimeResult]) -> str:
+    """Tabulate device results side by side (scheme comparison)."""
+    header = (
+        f"{'scheme':<16}{'host writes':>12}{'host Mbits':>12}"
+        f"{'erases':>8}{'w/erase':>9}{'in-place':>10}{'wear gap':>9}"
+        f"{'chg/bit':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        charge = (
+            f"{r.charge_per_host_bit:>9.2f}"
+            if r.host_bits_written
+            else f"{'-':>9}"
+        )
+        lines.append(
+            f"{r.scheme_name:<16}{r.host_writes:>12}"
+            f"{r.host_bits_written / 1e6:>12.2f}{r.block_erases:>8}"
+            f"{r.writes_per_erase:>9.2f}{r.in_place_rewrites:>10}"
+            f"{r.wear_spread:>9}{charge}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Command-line device-lifetime experiments.
+
+Examples::
+
+    python -m repro.ssd --schemes uncoded wom mfc-1/2-1bpc
+    python -m repro.ssd --workload hotcold --wear-leveling none dynamic
+    python -m repro.ssd --trace writes.trace --schemes wom
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.flash import FlashGeometry
+from repro.ftl import DynamicWearLeveling, NoWearLeveling, StaticWearLeveling
+from repro.ssd.device import SSD
+from repro.ssd.report import format_device_report
+from repro.ssd.simulator import run_until_death
+from repro.ssd.trace import TraceWorkload, load_trace
+from repro.ssd.workload import (
+    HotColdWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+__all__ = ["main"]
+
+WORKLOADS = {
+    "uniform": UniformWorkload,
+    "hotcold": HotColdWorkload,
+    "zipf": ZipfWorkload,
+    "sequential": SequentialWorkload,
+}
+
+WEAR_POLICIES = {
+    "none": NoWearLeveling,
+    "dynamic": DynamicWearLeveling,
+    "static": StaticWearLeveling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ssd",
+        description="Run SSDs to death and compare schemes/policies.",
+    )
+    parser.add_argument("--schemes", nargs="+",
+                        default=["uncoded", "wom", "mfc-1/2-1bpc"])
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="uniform")
+    parser.add_argument("--trace", help="replay a trace file instead of a "
+                        "synthetic workload")
+    parser.add_argument("--wear-leveling", nargs="+",
+                        choices=sorted(WEAR_POLICIES), default=["dynamic"])
+    parser.add_argument("--blocks", type=int, default=8)
+    parser.add_argument("--pages-per-block", type=int, default=8)
+    parser.add_argument("--page-bytes", type=int, default=48)
+    parser.add_argument("--erase-limit", type=int, default=25)
+    parser.add_argument("--utilization", type=float, default=0.6)
+    parser.add_argument("--constraint-length", type=int, default=4,
+                        help="trellis size for MFC schemes")
+    parser.add_argument("--max-writes", type=int, default=500_000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    geometry = FlashGeometry(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        page_bits=args.page_bytes * 8,
+        erase_limit=args.erase_limit,
+    )
+    trace = load_trace(args.trace) if args.trace else None
+    results = []
+    for policy_name in args.wear_leveling:
+        for scheme in args.schemes:
+            kwargs = (
+                {"constraint_length": args.constraint_length}
+                if scheme.startswith("mfc") and scheme != "mfc-ecc"
+                else {}
+            )
+            ssd = SSD(
+                geometry=geometry,
+                scheme=scheme,
+                utilization=args.utilization,
+                wear_leveling=WEAR_POLICIES[policy_name](),
+                **kwargs,
+            )
+            if trace is not None:
+                workload = TraceWorkload(ssd.logical_pages, trace, seed=args.seed)
+            else:
+                workload = WORKLOADS[args.workload](ssd.logical_pages,
+                                                    seed=args.seed)
+            result = run_until_death(ssd, workload, max_writes=args.max_writes)
+            if len(args.wear_leveling) > 1:
+                result = type(result)(
+                    **{**result.__dict__,
+                       "scheme_name": f"{scheme}/{policy_name}"},
+                )
+            results.append(result)
+    print(format_device_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

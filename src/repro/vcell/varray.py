@@ -1,0 +1,112 @@
+"""Vectorized virtual-cell views over page-sized bit arrays.
+
+The coding layers never loop over cells in Python; they convert whole pages
+between bit and level domains through this module's numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CellSaturatedError, VCellError
+from repro.vcell.vcell import VCellSpec
+
+__all__ = ["VCellArray"]
+
+
+class VCellArray:
+    """Interprets a page's bits as an array of ``L``-level v-cells.
+
+    The view is stateless with respect to the page: every method takes and
+    returns plain numpy arrays, so the same instance can serve many pages.
+    A page of ``page_bits`` bits holds ``page_bits // (levels - 1)`` v-cells;
+    leftover bits (when ``levels - 1`` does not divide the page) are ignored,
+    mirroring how a real FTL would leave them unused.
+    """
+
+    def __init__(self, spec: VCellSpec, page_bits: int) -> None:
+        self.spec = spec
+        self.page_bits = int(page_bits)
+        self.bits_per_cell = spec.bits_per_cell
+        self.num_cells = self.page_bits // self.bits_per_cell
+        if self.num_cells == 0:
+            raise VCellError(
+                f"a {self.page_bits}-bit page cannot hold any "
+                f"{spec.levels}-level v-cells ({self.bits_per_cell} bits each)"
+            )
+        self.used_bits = self.num_cells * self.bits_per_cell
+
+    def _cell_matrix(self, page_bits: np.ndarray) -> np.ndarray:
+        """Reshape the used portion of a page into (num_cells, bits_per_cell)."""
+        bits = np.asarray(page_bits, dtype=np.uint8)
+        if bits.shape != (self.page_bits,):
+            raise VCellError(
+                f"expected a page of {self.page_bits} bits, got shape {bits.shape}"
+            )
+        return bits[: self.used_bits].reshape(self.num_cells, self.bits_per_cell)
+
+    def levels(self, page_bits: np.ndarray) -> np.ndarray:
+        """Per-cell levels (popcount of each cell's bit group)."""
+        return self._cell_matrix(page_bits).sum(axis=1, dtype=np.int64)
+
+    def erased_page(self) -> np.ndarray:
+        """A fresh all-zero page buffer."""
+        return np.zeros(self.page_bits, dtype=np.uint8)
+
+    def program_levels(self, page_bits: np.ndarray, target_levels: np.ndarray) -> np.ndarray:
+        """Return new page bits realizing ``target_levels``.
+
+        For each cell the lowest-index unset bits are set until the cell
+        reaches its target level.  Within a level all bit representations are
+        interchangeable for popcount v-cells (any superset pattern of any
+        higher weight stays reachable), so the lowest-bit-first choice loses
+        no future flexibility.
+
+        Raises
+        ------
+        VCellError
+            If any target is below the cell's current level.
+        CellSaturatedError
+            If any target exceeds the maximum level.
+        """
+        targets = np.asarray(target_levels)
+        if targets.shape != (self.num_cells,):
+            raise VCellError(
+                f"expected {self.num_cells} target levels, got shape {targets.shape}"
+            )
+        if targets.max(initial=0) > self.spec.max_level:
+            bad = int(np.flatnonzero(targets > self.spec.max_level)[0])
+            raise CellSaturatedError(
+                f"cell {bad}: target level {targets[bad]} exceeds "
+                f"L{self.spec.max_level}"
+            )
+        cells = self._cell_matrix(page_bits)
+        current = cells.sum(axis=1, dtype=np.int64)
+        deficits = targets - current
+        if (deficits < 0).any():
+            bad = int(np.flatnonzero(deficits < 0)[0])
+            raise VCellError(
+                f"cell {bad}: cannot lower level from L{current[bad]} to "
+                f"L{targets[bad]} without an erase"
+            )
+        # Rank each unset bit within its cell; set those ranked below the
+        # deficit.  ranks[i, j] = number of unset bits strictly before j.
+        unset = cells == 0
+        ranks = np.cumsum(unset, axis=1) - unset
+        to_set = unset & (ranks < deficits[:, None])
+        new_cells = cells | to_set.astype(np.uint8)
+        new_page = np.asarray(page_bits, dtype=np.uint8).copy()
+        new_page[: self.used_bits] = new_cells.reshape(-1)
+        return new_page
+
+    def saturated(self, page_bits: np.ndarray) -> np.ndarray:
+        """Boolean mask of cells at the maximum level."""
+        return self.levels(page_bits) == self.spec.max_level
+
+    def headroom(self, page_bits: np.ndarray) -> int:
+        """Total level increments still available across the page."""
+        return int(self.num_cells * self.spec.max_level - self.levels(page_bits).sum())
+
+    def level_histogram(self, page_bits: np.ndarray) -> np.ndarray:
+        """Count of cells at each level (length ``levels`` array)."""
+        return np.bincount(self.levels(page_bits), minlength=self.spec.levels)

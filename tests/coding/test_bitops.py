@@ -1,0 +1,76 @@
+"""Tests for bit-manipulation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.bitops import (
+    bits_from_bytes,
+    bytes_from_bits,
+    gf2_convolve,
+    pack_values,
+    random_bits,
+    unpack_values,
+)
+
+
+class TestByteBitConversion:
+    def test_known_byte(self) -> None:
+        bits = bits_from_bytes(b"\x01")
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_roundtrip(self) -> None:
+        data = b"methuselah"
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data: bytes) -> None:
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+
+class TestPackUnpack:
+    def test_pack_lsb_first(self) -> None:
+        bits = np.array([1, 0, 0, 1, 1, 0], np.uint8)
+        assert pack_values(bits, 3).tolist() == [0b001, 0b011]
+
+    def test_unpack_inverse(self) -> None:
+        values = np.array([5, 0, 7])
+        assert pack_values(unpack_values(values, 3), 3).tolist() == [5, 0, 7]
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values: list[int]) -> None:
+        array = np.array(values)
+        assert pack_values(unpack_values(array, 5), 5).tolist() == values
+
+
+class TestGf2Convolve:
+    def test_identity(self) -> None:
+        seq = np.array([1, 0, 1, 1], np.uint8)
+        assert gf2_convolve(seq, np.array([1]), 4).tolist() == [1, 0, 1, 1]
+
+    def test_shift(self) -> None:
+        seq = np.array([1, 0, 1, 1], np.uint8)
+        # taps = D shifts the sequence by one.
+        assert gf2_convolve(seq, np.array([0, 1]), 4).tolist() == [0, 1, 0, 1]
+
+    def test_xor_of_shifts(self) -> None:
+        seq = np.array([1, 1, 0, 0], np.uint8)
+        # taps = 1 + D: out[n] = seq[n] ^ seq[n-1].
+        assert gf2_convolve(seq, np.array([1, 1]), 4).tolist() == [1, 0, 1, 0]
+
+    def test_truncation_pads(self) -> None:
+        seq = np.array([1], np.uint8)
+        assert gf2_convolve(seq, np.array([1, 1, 1]), 5).tolist() == [1, 1, 1, 0, 0]
+
+
+class TestRandomBits:
+    def test_deterministic_with_seed(self) -> None:
+        a = random_bits(np.random.default_rng(3), 32)
+        b = random_bits(np.random.default_rng(3), 32)
+        assert np.array_equal(a, b)
+        assert set(np.unique(a)) <= {0, 1}

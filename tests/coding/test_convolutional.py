@@ -1,0 +1,125 @@
+"""Tests for convolutional encoders, trellises and the code registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import ConvolutionalCode, get_code, list_codes
+from repro.errors import ConfigurationError
+
+
+class TestEncoder:
+    def test_rate_half_k3_known_vector(self) -> None:
+        # The (5,7) code: g1 = 1 + D^2, g2 = 1 + D + D^2.
+        code = ConvolutionalCode(generators=(0o5, 0o7), constraint_length=3)
+        out = code.encode(np.array([1, 0, 0, 0], np.uint8))
+        # Impulse response: step outputs (g1[i], g2[i]) for i = 0..2.
+        assert out.tolist() == [1, 1, 0, 1, 1, 1, 0, 0]
+
+    def test_linearity(self) -> None:
+        code = get_code(2, 7)
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 2, 40).astype(np.uint8)
+        v = rng.integers(0, 2, 40).astype(np.uint8)
+        assert np.array_equal(
+            code.encode(u) ^ code.encode(v), code.encode(u ^ v)
+        )
+
+    def test_output_length(self) -> None:
+        for denom in (2, 3, 4, 5):
+            code = get_code(denom, 3)
+            assert len(code.encode(np.zeros(10, np.uint8))) == 10 * denom
+
+    def test_zero_input_zero_output(self) -> None:
+        code = get_code(3, 4)
+        assert code.encode(np.zeros(16, np.uint8)).sum() == 0
+
+
+class TestTrellis:
+    @pytest.mark.parametrize("denom,k", [(2, 3), (2, 7), (3, 4), (4, 3), (5, 3)])
+    def test_trellis_matches_encoder(self, denom: int, k: int) -> None:
+        """Walking the trellis from state 0 must reproduce encode()."""
+        code = get_code(denom, k)
+        trellis = code.build_trellis()
+        rng = np.random.default_rng(7)
+        info = rng.integers(0, 2, 30).astype(np.uint8)
+        expected = code.encode(info).reshape(-1, denom)
+        state = 0
+        for t, u in enumerate(info):
+            value = trellis.output_values[state, u]
+            bits = [(value >> j) & 1 for j in range(denom)]
+            assert bits == expected[t].tolist(), f"step {t}"
+            state = trellis.next_state[state, u]
+
+    def test_trellis_is_two_regular(self) -> None:
+        trellis = get_code(2, 5).build_trellis()
+        # Every state has exactly 2 predecessors recorded.
+        for s in range(trellis.num_states):
+            for slot in range(2):
+                p = trellis.prev_state[s, slot]
+                u = trellis.prev_input[s, slot]
+                assert trellis.next_state[p, u] == s
+
+    def test_state_count(self) -> None:
+        assert get_code(2, 7).build_trellis().num_states == 64
+        assert get_code(2, 3).build_trellis().num_states == 4
+
+
+class TestRegistry:
+    def test_all_rates_available(self) -> None:
+        denominators = {key[0] for key in list_codes()}
+        assert denominators == {2, 3, 4, 5}
+
+    def test_paper_rates_have_defaults(self) -> None:
+        for denom in (2, 3, 4, 5):
+            code = get_code(denom)
+            assert code.num_outputs == denom
+
+    def test_rate_half_state_sweep_exists(self) -> None:
+        # The paper's state-count experiment needs several rate-1/2 codes.
+        ks = [key[1] for key in list_codes() if key[0] == 2]
+        assert len(ks) >= 5
+
+    def test_unknown_code_raises(self) -> None:
+        with pytest.raises(ConfigurationError, match="no registered"):
+            get_code(2, 99)
+
+    def test_g1_has_constant_term_everywhere(self) -> None:
+        for denom, k in list_codes():
+            code = get_code(denom, k)
+            assert code.coefficient_matrix[0, 0] == 1
+
+
+class TestValidation:
+    def test_single_stream_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCode(generators=(0o7,), constraint_length=3)
+
+    def test_g1_without_constant_term_rejected(self) -> None:
+        # 0o3 in K=3 is 011: D^0 coefficient 0.
+        with pytest.raises(ConfigurationError, match="g1"):
+            ConvolutionalCode(generators=(0o3, 0o7), constraint_length=3)
+
+    def test_zero_generator_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCode(generators=(0o7, 0o0), constraint_length=3)
+
+
+class TestEncoderProperties:
+    @given(
+        info=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+        key=st.sampled_from([(2, 3), (2, 7), (3, 4), (5, 3)]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_property(self, info: list[int], key: tuple[int, int]) -> None:
+        """Encoding a prefix gives a prefix of the encoding (causality)."""
+        code = get_code(*key)
+        bits = np.array(info, np.uint8)
+        full = code.encode(bits)
+        half = len(bits) // 2
+        if half:
+            partial = code.encode(bits[:half])
+            assert np.array_equal(full[: len(partial)], partial)

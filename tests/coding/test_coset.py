@@ -1,0 +1,248 @@
+"""Tests for the complete rewriting coset code (MFC core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import ConvolutionalCosetCode, get_code, make_codebook
+from repro.coding.cost import count_only_metric
+from repro.errors import CodingError, ConfigurationError, UnwritableError
+
+
+def write_stream(code, seed: int, max_writes: int = 200):
+    """Write random datawords until unwritable; return (writes, final page)."""
+    rng = np.random.default_rng(seed)
+    page = np.zeros(code.page_bits, np.uint8)
+    writes = 0
+    for _ in range(max_writes):
+        data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+        try:
+            page = code.encode(data, page)
+        except UnwritableError:
+            break
+        writes += 1
+    return writes, page
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "denom,bpc", [(2, 1), (2, 2), (3, 1), (4, 1), (5, 1)]
+    )
+    def test_encode_decode_all_variants(self, denom: int, bpc: int) -> None:
+        code = ConvolutionalCosetCode(
+            page_bits=600, rate_denominator=denom, bits_per_cell=bpc,
+            constraint_length=3,
+        )
+        rng = np.random.default_rng(denom * 10 + bpc)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(3):
+            data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+            page = code.encode(data, page)
+            assert np.array_equal(code.decode(page), data)
+
+    def test_repeated_rewrites_decode_latest(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=384, constraint_length=4)
+        rng = np.random.default_rng(3)
+        page = np.zeros(code.page_bits, np.uint8)
+        last = None
+        for _ in range(6):
+            data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+            page = code.encode(data, page)
+            last = data
+        assert np.array_equal(code.decode(page), last)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed: int) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, constraint_length=3)
+        rng = np.random.default_rng(seed)
+        page = np.zeros(code.page_bits, np.uint8)
+        data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+        page = code.encode(data, page)
+        assert np.array_equal(code.decode(page), data)
+
+    @given(
+        denom=st.sampled_from([2, 3, 4, 5]),
+        constraint_length=st.sampled_from([3, 4, 5]),
+        bits_per_cell=st.sampled_from([1, 2]),
+        page_bits=st.integers(180, 600),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_across_the_whole_design_space(
+        self, denom, constraint_length, bits_per_cell, page_bits, seed
+    ) -> None:
+        """Every constructible configuration must roundtrip on two writes."""
+        if denom % bits_per_cell != 0:
+            return  # invalid combination, rejected at construction
+        try:
+            code = ConvolutionalCosetCode(
+                page_bits=page_bits,
+                rate_denominator=denom,
+                constraint_length=constraint_length,
+                bits_per_cell=bits_per_cell,
+            )
+        except ConfigurationError:
+            return  # page too small for the guard region: fine
+        rng = np.random.default_rng(seed)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(2):
+            data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+            try:
+                page = code.encode(data, page)
+            except UnwritableError:
+                return  # legitimately exhausted (tiny pages, 2bpc)
+            assert np.array_equal(code.decode(page), data)
+
+
+class TestPhysicalLegality:
+    def test_encode_only_sets_bits(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=384, constraint_length=4)
+        rng = np.random.default_rng(8)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(8):
+            data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+            try:
+                new_page = code.encode(data, page)
+            except UnwritableError:
+                break
+            assert ((page == 1) <= (new_page == 1)).all()
+            page = new_page
+
+    def test_levels_monotone_across_writes(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=384, constraint_length=4)
+        rng = np.random.default_rng(8)
+        page = np.zeros(code.page_bits, np.uint8)
+        prev = code.varray.levels(page)
+        for _ in range(8):
+            data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+            try:
+                page = code.encode(data, page)
+            except UnwritableError:
+                break
+            levels = code.varray.levels(page)
+            assert (levels >= prev).all()
+            prev = levels
+
+
+class TestLifetimeBehavior:
+    def test_mfc_half_1bpc_outlives_wom_guarantee(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=768, constraint_length=5)
+        writes, _ = write_stream(code, seed=2)
+        assert writes >= 8  # far beyond WOM's 2 writes
+
+    def test_eventually_unwritable(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, constraint_length=3)
+        writes, page = write_stream(code, seed=4)
+        assert writes < 200
+        # Erasing restores writability.
+        fresh = np.zeros(code.page_bits, np.uint8)
+        data = np.zeros(code.dataword_bits, np.uint8)
+        code.encode(data, fresh)
+
+    def test_redundancy_ordering_of_coset_rates(self) -> None:
+        """More coset redundancy (lower rate) must give more writes."""
+        writes = {}
+        for denom in (2, 5):
+            code = ConvolutionalCosetCode(
+                page_bits=1200, rate_denominator=denom, constraint_length=4
+            )
+            writes[denom] = np.mean(
+                [write_stream(code, seed)[0] for seed in range(3)]
+            )
+        assert writes[2] > writes[5]
+
+
+class TestSizing:
+    def test_rates_match_paper_table(self) -> None:
+        cases = [
+            (2, 1, 1 / 6), (2, 2, 1 / 3), (3, 1, 2 / 9),
+            (4, 1, 1 / 4), (5, 1, 4 / 15),
+        ]
+        for denom, bpc, expected in cases:
+            code = ConvolutionalCosetCode(
+                page_bits=3000, rate_denominator=denom, bits_per_cell=bpc,
+                constraint_length=3,
+            )
+            assert code.ideal_rate == pytest.approx(expected)
+            assert code.coset_rate == pytest.approx((denom - 1) / denom)
+            # The realized rate approaches the ideal one from below.
+            assert code.rate <= code.ideal_rate + 1e-9
+            assert code.rate > expected * 0.8
+
+    def test_guard_region_scales_with_memory(self) -> None:
+        small = ConvolutionalCosetCode(page_bits=600, constraint_length=3)
+        large = ConvolutionalCosetCode(page_bits=600, constraint_length=7)
+        assert small.guard_steps == 4
+        assert large.guard_steps == 12
+        assert small.dataword_bits > large.dataword_bits
+
+    def test_page_too_small_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCosetCode(page_bits=30, constraint_length=7)
+
+    def test_wrong_dataword_size_rejected(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, constraint_length=3)
+        with pytest.raises(CodingError):
+            code.encode(np.zeros(code.dataword_bits + 1, np.uint8),
+                        np.zeros(code.page_bits, np.uint8))
+
+    def test_custom_codebook_metric(self) -> None:
+        codebook = make_codebook(1, 4, metric=count_only_metric)
+        code = ConvolutionalCosetCode(
+            page_bits=240, constraint_length=3, codebook=codebook
+        )
+        writes, _ = write_stream(code, seed=6)
+        assert writes >= 2
+
+    def test_explicit_code_object(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, code=get_code(2, 3))
+        assert code.code.num_states == 4
+
+    def test_str_mentions_code(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, constraint_length=3)
+        assert "coset code" in str(code)
+
+    def test_last_write_cost_tracking(self) -> None:
+        code = ConvolutionalCosetCode(page_bits=240, constraint_length=3)
+        page = np.zeros(code.page_bits, np.uint8)
+        data = np.zeros(code.dataword_bits, np.uint8)
+        code.encode(data, page)
+        assert code.last_write_cost == 0.0  # all-zero coset member is free
+
+
+class TestUnusualCombinations:
+    def test_rate_quarter_with_2bpc(self) -> None:
+        """m=4 with 2 bits per cell: two cells per trellis step."""
+        code = ConvolutionalCosetCode(
+            page_bits=600, rate_denominator=4, bits_per_cell=2,
+            constraint_length=3,
+        )
+        assert code.cells_per_step == 2
+        rng = np.random.default_rng(0)
+        page = np.zeros(code.page_bits, np.uint8)
+        data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+        page = code.encode(data, page)
+        assert np.array_equal(code.decode(page), data)
+
+    def test_eight_level_vcells(self) -> None:
+        code = ConvolutionalCosetCode(
+            page_bits=700, constraint_length=3, vcell_levels=8
+        )
+        assert code.varray.spec.levels == 8
+        writes, _ = write_stream(code, seed=9, max_writes=300)
+        # Seven increments per cell: far more rewrites than 4-level cells.
+        four_level = ConvolutionalCosetCode(page_bits=700, constraint_length=3)
+        four_writes, _ = write_stream(four_level, seed=9, max_writes=300)
+        assert writes > 1.5 * four_writes
+
+    def test_rate_fifth_with_2bpc_rejected(self) -> None:
+        """m=5 does not divide into 2-bit symbols."""
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCosetCode(
+                page_bits=600, rate_denominator=5, bits_per_cell=2,
+                constraint_length=3,
+            )

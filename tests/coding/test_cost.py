@@ -1,0 +1,132 @@
+"""Tests for the paper's selection metric and the Fig. 10 codebooks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    count_only_metric,
+    feasible_only_metric,
+    make_codebook,
+    methuselah_metric,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMethuselahMetric:
+    """The three objectives of Section V.A, encoded in f(l, l', L)."""
+
+    def test_no_program_costs_nothing(self) -> None:
+        for level in range(4):
+            assert methuselah_metric(level, level, 4) == 0.0
+
+    def test_saturated_cell_is_infinite(self) -> None:
+        # Objective 1: avoid codewords that increment saturated cells.
+        assert math.isinf(methuselah_metric(3, 4, 4))
+
+    def test_unreachable_target_is_infinite(self) -> None:
+        # Extension for 2BPC: a target below the current level needs erase.
+        assert math.isinf(methuselah_metric(2, 1, 4))
+
+    def test_balance_prefers_low_post_write_levels(self) -> None:
+        # Objective 3: f = l' favors increments landing on low levels.
+        assert methuselah_metric(0, 1, 4) < methuselah_metric(1, 2, 4)
+        assert methuselah_metric(1, 2, 4) < methuselah_metric(2, 3, 4)
+
+    def test_figure8_example3_preference(self) -> None:
+        # Fig. 8(d): incrementing cells at L0/L1 must be cheaper than
+        # incrementing the same number of cells at L2.
+        low = methuselah_metric(0, 1, 4) + methuselah_metric(1, 2, 4)
+        high = methuselah_metric(2, 3, 4) + methuselah_metric(2, 3, 4)
+        assert low < high
+
+    def test_minimizing_increments_dominates_nothing(self) -> None:
+        # Objective 2: any increment costs more than no increment.
+        for level in range(3):
+            assert methuselah_metric(level, level + 1, 4) > 0.0
+
+
+class TestAblationMetrics:
+    def test_count_only_flat_cost(self) -> None:
+        assert count_only_metric(0, 1, 4) == count_only_metric(2, 3, 4) == 1.0
+        assert math.isinf(count_only_metric(3, 4, 4))
+
+    def test_feasible_only_free_increments(self) -> None:
+        assert feasible_only_metric(0, 3, 4) == 0.0
+        assert math.isinf(feasible_only_metric(3, 4, 4))
+
+
+class TestWaterfallCodebook:
+    def test_read_table_is_parity(self) -> None:
+        book = make_codebook(1, 4)
+        assert book.read_table.tolist() == [0, 1, 0, 1]
+
+    def test_targets_follow_waterfall(self) -> None:
+        book = make_codebook(1, 4)
+        # Storing the current parity keeps the level; flipping raises it.
+        assert book.target_table[0].tolist() == [0, 1]
+        assert book.target_table[1].tolist() == [2, 1]
+        assert book.target_table[2].tolist() == [2, 3]
+
+    def test_saturated_flip_infeasible(self) -> None:
+        book = make_codebook(1, 4)
+        assert math.isinf(book.cost_table[3, 0])  # L3 stores parity 1
+        assert book.cost_table[3, 1] == 0.0
+
+    def test_costs_match_metric(self) -> None:
+        book = make_codebook(1, 4)
+        assert book.cost_table[0, 1] == 1.0
+        assert book.cost_table[1, 0] == 2.0
+        assert book.cost_table[2, 1] == 3.0
+
+    def test_eight_level_waterfall(self) -> None:
+        book = make_codebook(1, 8)
+        assert book.read_table.tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+        assert book.target_table[5, 0] == 6
+        assert math.isinf(book.cost_table[7, 0])
+
+
+class TestDirectCodebook:
+    def test_read_table_is_identity(self) -> None:
+        book = make_codebook(2, 4)
+        assert book.read_table.tolist() == [0, 1, 2, 3]
+
+    def test_lower_values_unwritable(self) -> None:
+        book = make_codebook(2, 4)
+        assert math.isinf(book.cost_table[2, 1])
+        assert math.isinf(book.cost_table[3, 0])
+
+    def test_same_value_free(self) -> None:
+        book = make_codebook(2, 4)
+        for level in range(4):
+            assert book.cost_table[level, level] == 0.0
+
+    def test_higher_values_cost_target(self) -> None:
+        book = make_codebook(2, 4)
+        assert book.cost_table[0, 3] == 3.0
+        assert book.cost_table[1, 2] == 2.0
+
+    def test_requires_four_levels(self) -> None:
+        with pytest.raises(ConfigurationError):
+            make_codebook(2, 8)
+
+
+class TestCodebookValidation:
+    def test_unsupported_bits_per_cell(self) -> None:
+        with pytest.raises(ConfigurationError):
+            make_codebook(3, 4)
+
+    def test_custom_metric_flows_into_tables(self) -> None:
+        book = make_codebook(1, 4, metric=count_only_metric)
+        assert book.cost_table[2, 1] == 1.0  # flat, not l'
+
+    def test_infeasible_targets_pinned_to_current_level(self) -> None:
+        book = make_codebook(1, 4)
+        assert book.target_table[3, 0] == 3  # never committed anyway
+
+    def test_symbols_property(self) -> None:
+        assert make_codebook(1, 4).symbols == 2
+        assert make_codebook(2, 4).symbols == 4

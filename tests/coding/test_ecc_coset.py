@@ -1,0 +1,135 @@
+"""Tests for ECC-integrated coset codes (Section V.B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import ConvolutionalCosetCode
+from repro.coding.ecc_coset import EccIntegratedCosetCode
+from repro.errors import CodingError, ConfigurationError, UnwritableError
+
+PAGE = 1536
+
+
+@pytest.fixture
+def code() -> EccIntegratedCosetCode:
+    return EccIntegratedCosetCode(
+        page_bits=PAGE, rate_denominator=2, constraint_length=4
+    )
+
+
+def random_write(code, rng, page):
+    data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+    return data, code.encode(data, page)
+
+
+class TestRoundtrip:
+    def test_encode_decode(self, code) -> None:
+        rng = np.random.default_rng(0)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(3):
+            data, page = random_write(code, rng, page)
+            assert np.array_equal(code.decode(page), data)
+
+    def test_clean_pages_check_out(self, code) -> None:
+        rng = np.random.default_rng(1)
+        page = np.zeros(code.page_bits, np.uint8)
+        _, page = random_write(code, rng, page)
+        assert code.check(page)
+        report = code.decode_with_report(page)
+        assert report.clean
+
+    def test_rate_cost_of_integration(self) -> None:
+        # Section V.B: ECC shrinks the usable coset space, costing rate.
+        protected = EccIntegratedCosetCode(
+            page_bits=PAGE, rate_denominator=2, constraint_length=4
+        )
+        plain = ConvolutionalCosetCode(
+            page_bits=PAGE, rate_denominator=2, constraint_length=4
+        )
+        assert protected.dataword_bits < plain.dataword_bits
+        # (8,4) Hamming costs half the payload.
+        assert protected.dataword_bits == pytest.approx(
+            plain.dataword_bits * 0.5, abs=8
+        )
+
+    def test_lower_overhead_with_bigger_blocks(self) -> None:
+        small = EccIntegratedCosetCode(page_bits=PAGE, hamming_r=3,
+                                       constraint_length=4)
+        large = EccIntegratedCosetCode(page_bits=PAGE, hamming_r=4,
+                                       constraint_length=4)
+        assert large.dataword_bits > small.dataword_bits
+        assert large.ecc_overhead < small.ecc_overhead
+
+
+class TestErrorHandling:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_single_cell_error_is_corrected(self, code, seed: int) -> None:
+        """One corrupted v-cell anywhere must decode transparently."""
+        rng = np.random.default_rng(seed)
+        page = np.zeros(code.page_bits, np.uint8)
+        data, page = random_write(code, rng, page)
+        corrupted = page.copy()
+        position = int(rng.integers(0, code.inner.varray.used_bits))
+        corrupted[position] ^= 1
+        report = code.decode_with_report(corrupted)
+        assert np.array_equal(report.data, data)
+        assert report.detected_uncorrectable == 0
+        assert not code.check(corrupted)  # the error was noticed, not missed
+
+    def test_wide_corruption_detected(self, code) -> None:
+        rng = np.random.default_rng(50)
+        page = np.zeros(code.page_bits, np.uint8)
+        _, page = random_write(code, rng, page)
+        corrupted = page.copy()
+        # Corrupt many scattered cells: beyond single-error correction.
+        for position in range(0, code.inner.varray.used_bits, 5):
+            corrupted[position] ^= 1
+        report = code.decode_with_report(corrupted)
+        assert report.detected_uncorrectable > 0
+
+
+class TestRewritability:
+    def test_many_rewrites_before_erase(self, code) -> None:
+        """Integration must preserve the rewriting benefit."""
+        rng = np.random.default_rng(5)
+        page = np.zeros(code.page_bits, np.uint8)
+        writes = 0
+        try:
+            for _ in range(100):
+                _, page = random_write(code, rng, page)
+                writes += 1
+        except UnwritableError:
+            pass
+        assert writes >= 8  # plenty of in-place updates, like plain MFCs
+
+    def test_balanced_wear_no_hot_parity_cells(self, code) -> None:
+        """The whole point of integration: no dedicated parity cells."""
+        rng = np.random.default_rng(6)
+        page = np.zeros(code.page_bits, np.uint8)
+        try:
+            for _ in range(100):
+                _, page = random_write(code, rng, page)
+        except UnwritableError:
+            pass
+        levels = code.inner.varray.levels(page)
+        halves = np.array_split(levels, 2)
+        assert abs(halves[0].mean() - halves[1].mean()) < 1.0
+
+
+class TestValidation:
+    def test_page_too_small_for_interleaving(self) -> None:
+        with pytest.raises(ConfigurationError, match="smear"):
+            EccIntegratedCosetCode(page_bits=200, constraint_length=7)
+
+    def test_wrong_dataword_size(self, code) -> None:
+        with pytest.raises(CodingError):
+            code.encode(
+                np.zeros(code.dataword_bits + 1, np.uint8),
+                np.zeros(code.page_bits, np.uint8),
+            )
+
+    def test_rate_property(self, code) -> None:
+        # Roughly coset(1/2) x cell(1/3) x hamming(1/2) = 1/12.
+        assert 0.05 < code.rate < 1 / 10

@@ -1,0 +1,117 @@
+"""Tests for the SECDED Hamming code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.hamming import HammingSecded
+from repro.errors import ConfigurationError, DecodingError
+
+
+@pytest.fixture
+def code() -> HammingSecded:
+    return HammingSecded(r=3)  # (8,4) SECDED
+
+
+class TestBlockLevel:
+    def test_shape(self, code: HammingSecded) -> None:
+        assert code.data_bits == 4
+        assert code.block_bits == 8
+        assert code.rate == 0.5
+
+    def test_clean_roundtrip(self, code: HammingSecded) -> None:
+        for value in range(16):
+            data = np.array([(value >> i) & 1 for i in range(4)], np.uint8)
+            block = code.encode_block(data)
+            report = code.decode_block(block)
+            assert np.array_equal(report.data, data)
+            assert report.corrected_bits == 0
+            assert report.detected_uncorrectable == 0
+
+    def test_corrects_every_single_bit_error(self, code: HammingSecded) -> None:
+        data = np.array([1, 0, 1, 1], np.uint8)
+        clean = code.encode_block(data)
+        for position in range(8):
+            corrupted = clean.copy()
+            corrupted[position] ^= 1
+            report = code.decode_block(corrupted)
+            assert np.array_equal(report.data, data), f"bit {position}"
+            assert report.corrected_bits == 1
+            assert report.detected_uncorrectable == 0
+
+    def test_detects_double_bit_errors(self, code: HammingSecded) -> None:
+        data = np.array([0, 1, 1, 0], np.uint8)
+        clean = code.encode_block(data)
+        detected = 0
+        for i in range(8):
+            for j in range(i + 1, 8):
+                corrupted = clean.copy()
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                report = code.decode_block(corrupted)
+                detected += report.detected_uncorrectable
+        assert detected == 28  # every double error flagged
+
+    def test_wrong_shapes(self, code: HammingSecded) -> None:
+        with pytest.raises(ConfigurationError):
+            code.encode_block(np.zeros(5, np.uint8))
+        with pytest.raises(ConfigurationError):
+            code.decode_block(np.zeros(7, np.uint8))
+
+
+class TestArrayLevel:
+    def test_blockwise_roundtrip(self, code: HammingSecded) -> None:
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 30, dtype=np.uint8)  # pads to 32
+        coded = code.encode(data)
+        assert len(coded) == code.blocks_for(30) * 8
+        report = code.decode(coded, data_bits=30)
+        assert np.array_equal(report.data, data)
+
+    def test_scattered_single_errors_corrected(self, code: HammingSecded) -> None:
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, 40, dtype=np.uint8)
+        coded = code.encode(data)
+        # One error per block is within SECDED's budget.
+        for block in range(code.blocks_for(40)):
+            coded[block * 8 + int(rng.integers(0, 8))] ^= 1
+        report = code.decode(coded, data_bits=40)
+        assert np.array_equal(report.data, data)
+        assert report.corrected_bits == code.blocks_for(40)
+
+    def test_length_mismatch(self, code: HammingSecded) -> None:
+        with pytest.raises(DecodingError):
+            code.decode(np.zeros(9, np.uint8), data_bits=4)
+
+
+class TestLargerCode:
+    def test_r4_code(self) -> None:
+        code = HammingSecded(r=4)  # (16, 11)
+        assert code.data_bits == 11
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, 11, dtype=np.uint8)
+        block = code.encode_block(data)
+        block[7] ^= 1
+        assert np.array_equal(code.decode_block(block).data, data)
+
+    def test_r_too_small(self) -> None:
+        with pytest.raises(ConfigurationError):
+            HammingSecded(r=1)
+
+
+class TestProperties:
+    @given(
+        value=st.integers(0, 15),
+        error_position=st.one_of(st.none(), st.integers(0, 7)),
+    )
+    @settings(max_examples=64, deadline=None)
+    def test_single_error_channel_property(self, value, error_position) -> None:
+        code = HammingSecded(r=3)
+        data = np.array([(value >> i) & 1 for i in range(4)], np.uint8)
+        block = code.encode_block(data)
+        if error_position is not None:
+            block[error_position] ^= 1
+        assert np.array_equal(code.decode_block(block).data, data)

@@ -1,0 +1,65 @@
+"""Tests for prior-work ideal-cell codes and the Section IV incompatibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.ideal_cell_codes import IdealCellWaterfall
+from repro.errors import CodingError, IllegalTransitionError, UnwritableError
+from repro.flash import IDEAL_MLC, MLC, Page, Wordline
+
+
+def make_code(cell=IDEAL_MLC, page_bits: int = 8) -> IdealCellWaterfall:
+    wordline = Wordline(cell, [Page(page_bits) for _ in range(2)])
+    return IdealCellWaterfall(wordline)
+
+
+class TestOnIdealCells:
+    def test_roundtrip(self) -> None:
+        code = make_code()
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 8, dtype=np.uint8)
+        code.write(data)
+        assert np.array_equal(code.read(), data)
+
+    def test_multiple_writes_climb_levels(self) -> None:
+        code = make_code(page_bits=1)
+        for bit, expected_level in [(1, 1), (0, 2), (1, 3)]:
+            code.write(np.array([bit], np.uint8))
+            assert code.wordline.read_levels()[0] == expected_level
+
+    def test_saturation_raises_unwritable(self) -> None:
+        code = make_code(page_bits=1)
+        for bit in (1, 0, 1):
+            code.write(np.array([bit], np.uint8))
+        with pytest.raises(UnwritableError):
+            code.write(np.array([0], np.uint8))
+
+    def test_bad_size(self) -> None:
+        code = make_code()
+        with pytest.raises(CodingError):
+            code.write(np.zeros(9, np.uint8))
+
+
+class TestOnRealCells:
+    """The paper's Section IV: the same code breaks on real MLC."""
+
+    def test_first_write_works_on_real_mlc(self) -> None:
+        # All cells at L0 -> every flip is L0 -> L1: legal everywhere.
+        code = make_code(cell=MLC)
+        data = np.array([1, 0, 1, 0, 1, 1, 0, 0], np.uint8)
+        code.write(data)
+        assert np.array_equal(code.read(), data)
+
+    def test_second_write_hits_the_l1_l2_quirk(self) -> None:
+        code = make_code(cell=MLC, page_bits=1)
+        code.write(np.array([1], np.uint8))  # L0 -> L1
+        with pytest.raises(IllegalTransitionError):
+            code.write(np.array([0], np.uint8))  # needs L1 -> L2: illegal
+
+    def test_same_sequence_fine_on_ideal(self) -> None:
+        code = make_code(cell=IDEAL_MLC, page_bits=1)
+        code.write(np.array([1], np.uint8))
+        code.write(np.array([0], np.uint8))  # ideal cells allow it
+        assert code.read()[0] == 0

@@ -1,0 +1,145 @@
+"""Tests for rank modulation on virtual cells."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.rank_modulation import (
+    RankModulationCode,
+    index_from_permutation,
+    permutation_from_index,
+)
+from repro.errors import CodingError, ConfigurationError, UnwritableError
+
+
+class TestPermutationIndexing:
+    def test_roundtrip_all_n4(self) -> None:
+        for index in range(24):
+            permutation = permutation_from_index(index, 4)
+            assert index_from_permutation(permutation) == index
+
+    def test_identity_is_index_zero(self) -> None:
+        assert permutation_from_index(0, 5) == (0, 1, 2, 3, 4)
+
+    def test_out_of_range(self) -> None:
+        with pytest.raises(CodingError):
+            permutation_from_index(24, 4)
+
+    @given(n=st.integers(2, 6), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, n: int, data) -> None:
+        index = data.draw(st.integers(0, math.factorial(n) - 1))
+        assert index_from_permutation(permutation_from_index(index, n)) == index
+
+
+class TestRankModulationCode:
+    def make(self, page_bits=224, group_cells=4, levels=8) -> RankModulationCode:
+        return RankModulationCode(page_bits, group_cells=group_cells,
+                                  vcell_levels=levels)
+
+    def test_sizing(self) -> None:
+        code = self.make()
+        # 224 bits / 7 bits-per-8-level-cell = 32 cells = 8 groups of 4;
+        # each group stores floor(log2(24)) = 4 bits.
+        assert code.num_groups == 8
+        assert code.bits_per_group == 4
+        assert code.dataword_bits == 32
+
+    def test_roundtrip_first_write(self) -> None:
+        code = self.make()
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+        page = code.encode(data, np.zeros(code.page_bits, np.uint8))
+        assert np.array_equal(code.decode(page), data)
+
+    def test_multiple_rewrites(self) -> None:
+        # Rank modulation spends up to n-1 levels per rewrite, so multiple
+        # rewrites need tall cells: 16-level v-cells (15 bits each).
+        code = self.make(page_bits=960, levels=16)
+        rng = np.random.default_rng(1)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(4):
+            data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+            page = code.encode(data, page)
+            assert np.array_equal(code.decode(page), data)
+
+    def test_charges_always_distinct_after_write(self) -> None:
+        code = self.make(page_bits=960, levels=16)
+        rng = np.random.default_rng(2)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(3):
+            data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+            page = code.encode(data, page)
+            charges = code._group_charges(page)
+            for group in charges:
+                assert len(set(group.tolist())) == code.group_cells
+
+    def test_only_sets_bits(self) -> None:
+        code = self.make(page_bits=960, levels=16)
+        rng = np.random.default_rng(3)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(3):
+            data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+            new_page = code.encode(data, page)
+            assert ((page == 1) <= (new_page == 1)).all()
+            page = new_page
+
+    def test_eventually_unwritable(self) -> None:
+        code = self.make()
+        rng = np.random.default_rng(4)
+        page = np.zeros(code.page_bits, np.uint8)
+        writes = 0
+        with pytest.raises(UnwritableError):
+            for _ in range(200):
+                data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+                page = code.encode(data, page)
+                writes += 1
+        assert writes >= 2  # several rewrites before exhausting 8 levels
+
+    def test_needs_enough_levels_only_at_write_time(self) -> None:
+        # Four cells on 4-level v-cells: the first write fits (ranks 0-3),
+        # most rewrites do not.
+        code = self.make(page_bits=96, levels=4)
+        rng = np.random.default_rng(5)
+        page = code.encode(
+            rng.integers(0, 2, code.dataword_bits, dtype=np.uint8),
+            np.zeros(code.page_bits, np.uint8),
+        )
+        with pytest.raises(UnwritableError):
+            for _ in range(10):
+                page = code.encode(
+                    rng.integers(0, 2, code.dataword_bits, dtype=np.uint8), page
+                )
+
+    def test_rewrite_same_data_costs_nothing(self) -> None:
+        code = self.make()
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+        page = code.encode(data, np.zeros(code.page_bits, np.uint8))
+        again = code.encode(data, page)
+        assert np.array_equal(page, again)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            RankModulationCode(224, group_cells=1)
+        with pytest.raises(ConfigurationError):
+            RankModulationCode(7, group_cells=4)  # one cell, no group
+        code = self.make()
+        with pytest.raises(CodingError):
+            code.encode(np.zeros(5, np.uint8), np.zeros(code.page_bits, np.uint8))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed: int) -> None:
+        code = RankModulationCode(240, group_cells=4, vcell_levels=16)
+        rng = np.random.default_rng(seed)
+        page = np.zeros(code.page_bits, np.uint8)
+        for _ in range(2):
+            data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+            page = code.encode(data, page)
+            assert np.array_equal(code.decode(page), data)

@@ -1,0 +1,86 @@
+"""Tests for the syndrome former and coset representatives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import get_code
+from repro.coding.syndrome import SyndromeFormer
+from repro.errors import CodingError
+
+KEYS = [(2, 3), (2, 7), (3, 4), (4, 3), (5, 3)]
+
+
+@pytest.mark.parametrize("key", KEYS)
+class TestSyndromeFormer:
+    def test_codewords_have_zero_syndrome(self, key) -> None:
+        code = get_code(*key)
+        former = SyndromeFormer(code)
+        rng = np.random.default_rng(11)
+        info = rng.integers(0, 2, 48).astype(np.uint8)
+        streams = code.encode(info).reshape(-1, code.num_outputs)
+        assert former.syndrome(streams).sum() == 0
+
+    def test_representative_achieves_syndrome(self, key) -> None:
+        code = get_code(*key)
+        former = SyndromeFormer(code)
+        rng = np.random.default_rng(13)
+        target = rng.integers(0, 2, (32, code.num_outputs - 1)).astype(np.uint8)
+        rep = former.representative(target)
+        assert np.array_equal(former.syndrome(rep), target)
+
+    def test_coset_shift_invariance(self, key) -> None:
+        """syndrome(t XOR c) == syndrome(t) for any codeword c."""
+        code = get_code(*key)
+        former = SyndromeFormer(code)
+        rng = np.random.default_rng(17)
+        steps = 32
+        target = rng.integers(0, 2, (steps, code.num_outputs - 1)).astype(np.uint8)
+        rep = former.representative(target)
+        info = rng.integers(0, 2, steps).astype(np.uint8)
+        codeword = code.encode(info).reshape(steps, code.num_outputs)
+        assert np.array_equal(former.syndrome(rep ^ codeword), target)
+
+    def test_first_stream_of_representative_is_zero(self, key) -> None:
+        code = get_code(*key)
+        former = SyndromeFormer(code)
+        target = np.ones((16, code.num_outputs - 1), np.uint8)
+        rep = former.representative(target)
+        assert rep[:, 0].sum() == 0
+
+
+class TestShapes:
+    def test_syndrome_rejects_bad_shapes(self) -> None:
+        former = SyndromeFormer(get_code(2, 3))
+        with pytest.raises(CodingError):
+            former.syndrome(np.zeros((4, 3), np.uint8))
+        with pytest.raises(CodingError):
+            former.representative(np.zeros((4, 2), np.uint8))
+
+    def test_syndrome_bits_per_step(self) -> None:
+        assert SyndromeFormer(get_code(5, 3)).syndrome_bits_per_step == 4
+
+
+class TestProperties:
+    @given(
+        data=st.data(),
+        key=st.sampled_from(KEYS),
+        steps=st.integers(4, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_representative_roundtrip_property(self, data, key, steps) -> None:
+        code = get_code(*key)
+        former = SyndromeFormer(code)
+        bits = data.draw(
+            st.lists(
+                st.integers(0, 1),
+                min_size=steps * (code.num_outputs - 1),
+                max_size=steps * (code.num_outputs - 1),
+            )
+        )
+        target = np.array(bits, np.uint8).reshape(steps, code.num_outputs - 1)
+        rep = former.representative(target)
+        assert np.array_equal(former.syndrome(rep), target)

@@ -1,0 +1,187 @@
+"""Tests for the minimum-wear-cost Viterbi coset search.
+
+The central test brute-forces every trellis path on a small code and checks
+the search returns the true minimum-cost writable coset member.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import get_code, make_codebook
+from repro.coding.viterbi import CosetViterbi
+from repro.errors import ConfigurationError, UnwritableError
+
+
+def brute_force_best(code, codebook, rep_values, step_levels):
+    """Enumerate all inputs and free initial states; return min cost."""
+    trellis = code.build_trellis()
+    viterbi = CosetViterbi(trellis, codebook)
+    steps = len(rep_values)
+    step_costs = viterbi.step_cost_table(np.asarray(step_levels))
+    best = np.inf
+    for start in range(trellis.num_states):
+        for bits in itertools.product((0, 1), repeat=steps):
+            state = start
+            cost = 0.0
+            for t, u in enumerate(bits):
+                value = trellis.output_values[state, u] ^ int(rep_values[t])
+                cost += step_costs[t, value]
+                state = trellis.next_state[state, u]
+                if not np.isfinite(cost):
+                    break
+            best = min(best, cost)
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_1bpc(self, seed: int) -> None:
+        code = get_code(2, 3)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        rng = np.random.default_rng(seed)
+        steps = 7
+        rep = rng.integers(0, 4, steps)
+        levels = rng.integers(0, 4, (steps, 2))
+        expected = brute_force_best(code, codebook, rep, levels)
+        if np.isfinite(expected):
+            result = viterbi.search(rep, levels)
+            assert result.total_cost == pytest.approx(expected)
+        else:
+            with pytest.raises(UnwritableError):
+                viterbi.search(rep, levels)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_2bpc(self, seed: int) -> None:
+        code = get_code(2, 3)
+        codebook = make_codebook(2, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        rng = np.random.default_rng(seed + 100)
+        steps = 7
+        rep = rng.integers(0, 4, steps)
+        levels = rng.integers(0, 3, (steps, 1))  # below L3 so often writable
+        expected = brute_force_best(code, codebook, rep, levels)
+        if np.isfinite(expected):
+            result = viterbi.search(rep, levels)
+            assert result.total_cost == pytest.approx(expected)
+        else:
+            with pytest.raises(UnwritableError):
+                viterbi.search(rep, levels)
+
+
+class TestResultConsistency:
+    def test_codeword_cost_recomputes(self) -> None:
+        code = get_code(2, 4)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        rng = np.random.default_rng(5)
+        steps = 32
+        rep = rng.integers(0, 4, steps)
+        levels = rng.integers(0, 3, (steps, 2))
+        result = viterbi.search(rep, levels)
+        step_costs = viterbi.step_cost_table(levels)
+        recomputed = sum(
+            step_costs[t, int(v)] for t, v in enumerate(result.codeword_values)
+        )
+        assert result.total_cost == pytest.approx(recomputed)
+
+    def test_chosen_word_is_in_coset(self) -> None:
+        """codeword XOR representative must be a trellis path output."""
+        code = get_code(2, 3)
+        codebook = make_codebook(1, 4)
+        trellis = code.build_trellis()
+        viterbi = CosetViterbi(trellis, codebook)
+        rng = np.random.default_rng(9)
+        steps = 10
+        rep = rng.integers(0, 4, steps)
+        levels = np.zeros((steps, 2), np.int64)
+        result = viterbi.search(rep, levels)
+        path_values = result.codeword_values ^ rep
+        # Verify some walk through the trellis produces path_values.
+        reachable = {s for s in range(trellis.num_states)}
+        for t in range(steps):
+            nxt = set()
+            for s in reachable:
+                for u in (0, 1):
+                    if trellis.output_values[s, u] == path_values[t]:
+                        nxt.add(int(trellis.next_state[s, u]))
+            reachable = nxt
+            assert reachable, f"no trellis walk matches at step {t}"
+
+    def test_target_levels_never_decrease(self) -> None:
+        code = get_code(2, 4)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        rng = np.random.default_rng(21)
+        steps = 50
+        rep = rng.integers(0, 4, steps)
+        levels = rng.integers(0, 3, (steps, 2))
+        result = viterbi.search(rep, levels)
+        assert (result.target_levels >= levels).all()
+
+    def test_erased_page_prefers_no_increments_path(self) -> None:
+        # With an all-zero representative the all-zero codeword costs 0.
+        code = get_code(2, 7)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        steps = 40
+        rep = np.zeros(steps, np.int64)
+        levels = np.zeros((steps, 2), np.int64)
+        result = viterbi.search(rep, levels)
+        assert result.total_cost == 0.0
+        assert result.target_levels.sum() == 0
+
+
+class TestUnwritable:
+    def test_all_saturated_conflicting(self) -> None:
+        code = get_code(2, 3)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        steps = 8
+        # All cells saturated (parity 1); force chunks needing a 0 bit:
+        # representative all-ones means codeword bits 1 are needed... use a
+        # representative that guarantees conflicts on every path instead:
+        levels = np.full((steps, 2), 3, np.int64)
+        # Saturated cells can only store parity 1, so only chunk value 3 is
+        # feasible at every step; rep = 2 forces every path output to be 1,
+        # which the (5,7) trellis cannot sustain (verified by brute force in
+        # the optimality tests above for random instances).
+        rep = np.full(steps, 2, np.int64)
+        expected = brute_force_best(code, codebook, rep, levels)
+        assert not np.isfinite(expected)
+        with pytest.raises(UnwritableError):
+            viterbi.search(rep, levels)
+
+    def test_bad_shapes(self) -> None:
+        code = get_code(2, 3)
+        viterbi = CosetViterbi(code.build_trellis(), make_codebook(1, 4))
+        with pytest.raises(ConfigurationError):
+            viterbi.search(np.zeros(4, np.int64), np.zeros((4, 3), np.int64))
+
+    def test_bits_per_cell_must_divide_outputs(self) -> None:
+        code = get_code(3, 3)  # m = 3
+        with pytest.raises(ConfigurationError):
+            CosetViterbi(code.build_trellis(), make_codebook(2, 4))
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_search_cost_is_finite_and_consistent(self, seed: int) -> None:
+        code = get_code(2, 3)
+        codebook = make_codebook(1, 4)
+        viterbi = CosetViterbi(code.build_trellis(), codebook)
+        rng = np.random.default_rng(seed)
+        steps = 12
+        rep = rng.integers(0, 4, steps)
+        levels = rng.integers(0, 3, (steps, 2))  # never saturated: writable
+        result = viterbi.search(rep, levels)
+        assert np.isfinite(result.total_cost)
+        assert (result.target_levels <= 3).all()
+        assert (result.target_levels >= levels).all()

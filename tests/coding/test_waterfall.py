@@ -1,0 +1,67 @@
+"""Tests for plain waterfall coding (Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import WaterfallCode
+from repro.errors import CodingError, UnwritableError
+
+
+class TestWaterfall:
+    def test_rate_one_third_for_mlc_vcells(self) -> None:
+        code = WaterfallCode(page_bits=300)
+        assert code.rate == pytest.approx(1 / 3)
+
+    def test_roundtrip(self) -> None:
+        code = WaterfallCode(page_bits=30)
+        rng = np.random.default_rng(0)
+        page = np.zeros(30, np.uint8)
+        data = rng.integers(0, 2, code.dataword_bits).astype(np.uint8)
+        page = code.encode(data, page)
+        assert np.array_equal(code.decode(page), data)
+
+    def test_levels_climb_with_flips(self) -> None:
+        code = WaterfallCode(page_bits=3)  # one cell
+        page = np.zeros(3, np.uint8)
+        # Fig. 3 walk: 0 (L0) -> 1 (L1) -> 0 (L2) -> 1 (L3).
+        for expected_level, bit in [(1, 1), (2, 0), (3, 1)]:
+            page = code.encode(np.array([bit], np.uint8), page)
+            assert code.varray.levels(page)[0] == expected_level
+        with pytest.raises(UnwritableError):
+            code.encode(np.array([0], np.uint8), page)
+
+    def test_same_bit_does_not_increment(self) -> None:
+        code = WaterfallCode(page_bits=3)
+        page = code.encode(np.array([1], np.uint8), np.zeros(3, np.uint8))
+        again = code.encode(np.array([1], np.uint8), page)
+        assert np.array_equal(page, again)
+
+    def test_page_dies_quickly_with_random_data(self) -> None:
+        """Without coset freedom page lifetime is short (the MFC motivation)."""
+        code = WaterfallCode(page_bits=3000)
+        rng = np.random.default_rng(1)
+        page = np.zeros(3000, np.uint8)
+        writes = 0
+        try:
+            for _ in range(50):
+                page = code.encode(
+                    rng.integers(0, 2, code.dataword_bits).astype(np.uint8), page
+                )
+                writes += 1
+        except UnwritableError:
+            pass
+        assert 3 <= writes <= 12
+
+    def test_eight_level_cells(self) -> None:
+        code = WaterfallCode(page_bits=7, vcell_levels=8)
+        page = np.zeros(7, np.uint8)
+        for bit in (1, 0, 1, 0, 1, 0, 1):
+            page = code.encode(np.array([bit], np.uint8), page)
+        assert code.varray.levels(page)[0] == 7
+
+    def test_bad_dataword_size(self) -> None:
+        code = WaterfallCode(page_bits=30)
+        with pytest.raises(CodingError):
+            code.encode(np.zeros(3, np.uint8), np.zeros(30, np.uint8))

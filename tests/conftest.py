@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashChip, FlashGeometry, MLC, SLC, TLC
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_geometry() -> FlashGeometry:
+    """A tiny MLC chip so substrate tests run fast."""
+    return FlashGeometry(blocks=2, pages_per_block=4, page_bits=64, erase_limit=10)
+
+
+@pytest.fixture
+def chip(small_geometry: FlashGeometry) -> FlashChip:
+    return FlashChip(small_geometry)
+
+
+@pytest.fixture
+def slc_chip() -> FlashChip:
+    return FlashChip(FlashGeometry(blocks=2, pages_per_block=4, page_bits=64,
+                                   erase_limit=10, cell=SLC))
+
+
+@pytest.fixture
+def tlc_chip() -> FlashChip:
+    return FlashChip(FlashGeometry(blocks=2, pages_per_block=6, page_bits=64,
+                                   erase_limit=10, cell=TLC))

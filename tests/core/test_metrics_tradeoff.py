@@ -1,0 +1,98 @@
+"""Tests for Table I summaries and the Fig. 1/11/12/13 trade-off math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    LifetimeSimulator,
+    SchemeSummary,
+    cost_to_achieve,
+    make_scheme,
+    rectangle_for,
+    summarize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSchemeSummary:
+    def test_from_result(self) -> None:
+        result = LifetimeSimulator(make_scheme("wom", 768), seed=0).run(cycles=2)
+        summary = SchemeSummary.from_result(result)
+        assert summary.name == "WOM"
+        assert summary.aggregate_gain == pytest.approx(
+            summary.rate * summary.lifetime_gain
+        )
+
+    def test_analytic_row(self) -> None:
+        row = SchemeSummary.analytic("Redundancy-1/2", rate=0.5, lifetime_gain=2)
+        assert row.aggregate_gain == 1.0
+
+    def test_as_row_formats(self) -> None:
+        row = SchemeSummary.analytic("Uncoded", 1.0, 1.0).as_row()
+        assert row == ("Uncoded", "1.0000", "1.00", "1.00")
+
+    def test_summarize_helper(self) -> None:
+        summary = summarize(make_scheme("redundancy-1/2", 64), cycles=2)
+        assert summary.lifetime_gain == 2.0
+
+
+class TestRectangles:
+    def test_area_is_aggregate_gain(self) -> None:
+        summary = SchemeSummary.analytic("WOM", rate=2 / 3, lifetime_gain=2)
+        rect = rectangle_for(summary)
+        assert rect.area == pytest.approx(4 / 3)
+        assert rect.capacity_fraction == pytest.approx(2 / 3)
+        assert rect.lifetime_gain == 2
+
+    def test_baseline_rectangle_is_unit(self) -> None:
+        rect = rectangle_for(SchemeSummary.analytic("Uncoded", 1.0, 1.0))
+        assert rect.area == 1.0
+
+
+class TestCostToAchieve:
+    """Fig. 13: raw capacity to reach lifetime gain 12 at capacity goal C."""
+
+    def test_paper_figure13_orderings(self) -> None:
+        mfc_half = SchemeSummary.analytic("MFC-1/2-1BPC", 1 / 6, 12)
+        wom = SchemeSummary.analytic("WOM", 2 / 3, 2)
+        redundancy = SchemeSummary.analytic("Redundancy", 1 / 12, 12)
+        mfc_45 = SchemeSummary.analytic("MFC-4/5", 4 / 15, 4.5)
+
+        costs = {
+            s.name: cost_to_achieve(s, lifetime_goal=12)
+            for s in (mfc_half, wom, redundancy, mfc_45)
+        }
+        # MFC-1/2 is cheapest; redundancy is the most expensive.
+        assert costs["MFC-1/2-1BPC"] == pytest.approx(6.0)
+        assert costs["WOM"] == pytest.approx(9.0)
+        assert costs["Redundancy"] == pytest.approx(12.0)
+        assert costs["MFC-1/2-1BPC"] < costs["MFC-4/5"] < costs["Redundancy"]
+
+    def test_higher_aggregate_gain_is_cheaper(self) -> None:
+        # The paper's conclusion from Fig. 13.
+        strong = SchemeSummary.analytic("A", 1 / 6, 12)  # aggregate 2
+        weak = SchemeSummary.analytic("B", 1 / 6, 6)  # aggregate 1
+        assert cost_to_achieve(strong, 12) < cost_to_achieve(weak, 12)
+
+    def test_capacity_goal_scales_linearly(self) -> None:
+        s = SchemeSummary.analytic("WOM", 2 / 3, 2)
+        assert cost_to_achieve(s, 12, capacity_goal=2.0) == pytest.approx(
+            2 * cost_to_achieve(s, 12, capacity_goal=1.0)
+        )
+
+    def test_partial_generations_round_up(self) -> None:
+        s = SchemeSummary.analytic("X", 1.0, 5.0)
+        assert cost_to_achieve(s, 12) == 3  # ceil(12/5) generations
+
+    def test_invalid_goals(self) -> None:
+        s = SchemeSummary.analytic("X", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            cost_to_achieve(s, 0)
+        with pytest.raises(ConfigurationError):
+            cost_to_achieve(s, 12, capacity_goal=0)
+
+    def test_degenerate_scheme(self) -> None:
+        s = SchemeSummary.analytic("X", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            cost_to_achieve(s, 12)

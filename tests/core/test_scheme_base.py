@@ -1,0 +1,46 @@
+"""Direct tests for the scheme base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding import WaterfallCode
+from repro.core.scheme import PageCodeScheme
+
+
+class TestPageCodeScheme:
+    def make(self) -> PageCodeScheme:
+        return PageCodeScheme("Demo", WaterfallCode(page_bits=30))
+
+    def test_metadata_from_code(self) -> None:
+        scheme = self.make()
+        assert scheme.raw_bits == 30
+        assert scheme.dataword_bits == 10
+        assert scheme.rate == 1 / 3
+
+    def test_fresh_state_is_erased_page(self) -> None:
+        state = self.make().fresh_state()
+        assert state.shape == (30,)
+        assert state.sum() == 0
+
+    def test_cell_levels_from_varray(self) -> None:
+        scheme = self.make()
+        state = scheme.fresh_state()
+        levels = scheme.cell_levels(state)
+        assert levels is not None and len(levels) == 10
+        data = np.ones(10, np.uint8)
+        state = scheme.write(state, data)
+        assert scheme.cell_levels(state).sum() == 10
+
+    def test_str_mentions_rate_and_sizes(self) -> None:
+        text = str(self.make())
+        assert "Demo" in text and "0.3333" in text and "30" in text
+
+    def test_cell_levels_none_without_varray(self) -> None:
+        class NoVarrayCode(WaterfallCode):
+            pass
+
+        code = NoVarrayCode(page_bits=30)
+        del code.varray
+        scheme = PageCodeScheme("X", code)
+        assert scheme.cell_levels(scheme.fresh_state()) is None

@@ -1,0 +1,100 @@
+"""Generic invariants every rewriting scheme must satisfy.
+
+These property tests run the same checks across the whole scheme registry:
+monotone bit writes (flash legality), read-your-writes, determinism, and
+honest rate accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_scheme
+from repro.errors import UnwritableError
+
+PAGE = 960
+
+#: (name, extra kwargs) for every single-page scheme in the registry.
+SINGLE_PAGE_SCHEMES = [
+    ("uncoded", {}),
+    ("wom", {}),
+    ("waterfall", {}),
+    ("mfc-1/2-1bpc", {"constraint_length": 3}),
+    ("mfc-1/2-2bpc", {"constraint_length": 3}),
+    ("mfc-2/3", {"constraint_length": 3}),
+    ("mfc-3/4", {"constraint_length": 3}),
+    ("mfc-4/5", {"constraint_length": 3}),
+    ("mfc-ecc", {"constraint_length": 4}),
+    ("rank-modulation", {}),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", SINGLE_PAGE_SCHEMES)
+class TestUniversalSchemeInvariants:
+    def _scheme(self, name, kwargs):
+        return make_scheme(name, PAGE, **kwargs)
+
+    def test_read_your_writes_until_erase(self, name, kwargs) -> None:
+        scheme = self._scheme(name, kwargs)
+        rng = np.random.default_rng(11)
+        state = scheme.fresh_state()
+        for _ in range(30):
+            data = rng.integers(0, 2, scheme.dataword_bits, dtype=np.uint8)
+            try:
+                state = scheme.write(state, data)
+            except UnwritableError:
+                break
+            assert np.array_equal(scheme.read(state), data)
+
+    def test_writes_only_set_bits(self, name, kwargs) -> None:
+        scheme = self._scheme(name, kwargs)
+        rng = np.random.default_rng(12)
+        state = scheme.fresh_state()
+        for _ in range(10):
+            data = rng.integers(0, 2, scheme.dataword_bits, dtype=np.uint8)
+            try:
+                new_state = scheme.write(state, data)
+            except UnwritableError:
+                break
+            assert ((state == 1) <= (new_state == 1)).all()
+            state = new_state
+
+    def test_write_does_not_mutate_input_state(self, name, kwargs) -> None:
+        scheme = self._scheme(name, kwargs)
+        rng = np.random.default_rng(13)
+        state = scheme.fresh_state()
+        snapshot = state.copy()
+        scheme.write(state, rng.integers(0, 2, scheme.dataword_bits,
+                                         dtype=np.uint8))
+        assert np.array_equal(state, snapshot)
+
+    def test_rate_accounting(self, name, kwargs) -> None:
+        scheme = self._scheme(name, kwargs)
+        assert 0 < scheme.rate <= 1
+        assert scheme.dataword_bits <= scheme.raw_bits
+
+    def test_deterministic(self, name, kwargs) -> None:
+        scheme = self._scheme(name, kwargs)
+        rng = np.random.default_rng(14)
+        data = rng.integers(0, 2, scheme.dataword_bits, dtype=np.uint8)
+        a = scheme.write(scheme.fresh_state(), data)
+        b = scheme.write(scheme.fresh_state(), data)
+        assert np.array_equal(a, b)
+
+
+class TestRandomizedCrossSchemeProperty:
+    @given(
+        name=st.sampled_from([n for n, _ in SINGLE_PAGE_SCHEMES]),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_first_write_always_succeeds_and_roundtrips(self, name, seed) -> None:
+        kwargs = dict(SINGLE_PAGE_SCHEMES)[name]
+        scheme = make_scheme(name, PAGE, **kwargs)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, scheme.dataword_bits, dtype=np.uint8)
+        state = scheme.write(scheme.fresh_state(), data)
+        assert np.array_equal(scheme.read(state), data)

@@ -1,0 +1,45 @@
+"""Tests for the ASCII rectangle renderer."""
+
+from __future__ import annotations
+
+from repro.core.tradeoff import TradeoffRectangle
+from repro.experiments.ascii import render_rectangles
+
+
+def rect(name: str, gain: float, capacity: float) -> TradeoffRectangle:
+    return TradeoffRectangle(name=name, lifetime_gain=gain,
+                             capacity_fraction=capacity)
+
+
+class TestRenderRectangles:
+    def test_legend_lists_every_scheme(self) -> None:
+        art = render_rectangles([rect("A", 1, 1), rect("B", 12, 1 / 6)])
+        assert "1: A" in art and "2: B" in art
+        assert "area 2.00" in art  # B's aggregate gain
+
+    def test_corner_marks_survive_overlaps(self) -> None:
+        # Two schemes with the same lifetime: both digits must be visible.
+        art = render_rectangles([rect("X", 2, 0.5), rect("Y", 2, 0.667)])
+        assert "1" in art.splitlines()[1:][0] or "1" in art
+        plot = "\n".join(line for line in art.splitlines()
+                         if not line.strip().startswith(("1:", "2:")))
+        assert "1" in plot and "2" in plot
+
+    def test_axes_labeled(self) -> None:
+        art = render_rectangles([rect("A", 1, 1)])
+        assert "capacity" in art and "lifetime gain" in art
+
+    def test_empty_input(self) -> None:
+        assert "nothing" in render_rectangles([])
+
+    def test_degenerate_input(self) -> None:
+        assert "degenerate" in render_rectangles([rect("A", 0, 0)])
+
+    def test_grid_size_respected(self) -> None:
+        art = render_rectangles([rect("A", 5, 0.5)], width=20, height=5)
+        plot_lines = [
+            line for line in art.splitlines()
+            if line.startswith(("  |", "  ^"))
+        ]
+        assert len(plot_lines) == 6  # height + 1 rows
+        assert all(len(line) <= 4 + 21 for line in plot_lines)

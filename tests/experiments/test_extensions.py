@@ -1,0 +1,51 @@
+"""Tests for the extensions experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, format_extensions, run_extensions
+
+FAST = ExperimentConfig(page_bytes=128, cycles=1, seed=5, constraint_length=3)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_extensions(FAST)
+
+
+class TestExtensions:
+    def test_expected_schemes(self, rows) -> None:
+        names = [row.name for row in rows]
+        assert names == [
+            "Waterfall-4L",
+            "MFC-1/2-1BPC",
+            "MFC-1/2-1BPC-8L",
+            "MFC-1/2-ECC",
+            "RankMod-4c16L",
+        ]
+
+    def test_all_rows_have_positive_gains(self, rows) -> None:
+        for row in rows:
+            assert row.lifetime_gain >= 1
+            assert 0 < row.rate < 1
+
+    def test_tall_cells_have_lowest_rate_highest_lifetime(self, rows) -> None:
+        by_name = {row.name: row for row in rows}
+        tall = by_name["MFC-1/2-1BPC-8L"]
+        assert tall.lifetime_gain == max(
+            row.lifetime_gain for row in rows
+        )
+
+    def test_formatting(self, rows) -> None:
+        text = format_extensions(rows)
+        assert "beyond the paper" in text
+        for row in rows:
+            assert row.name in text
+
+    def test_cli_integration(self, capsys) -> None:
+        from repro.experiments.runner import main
+
+        main(["extensions", "--page-bytes", "128", "--cycles", "1",
+              "--constraint-length", "3"])
+        assert "MFC-1/2-ECC" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the figure-regeneration machinery (small, fast configs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig1_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    fig14_data,
+    fig15_data,
+    fig16_data,
+    format_fig13,
+    format_fig14,
+    format_fig15,
+    format_fig16,
+    format_rectangles,
+)
+
+FAST = ExperimentConfig(page_bytes=96, cycles=2, seed=5, constraint_length=3)
+
+
+class TestRectangleFigures:
+    def test_fig1_three_rectangles(self) -> None:
+        rectangles = fig1_data(FAST)
+        assert [r.name for r in rectangles] == [
+            "Uncoded", "Redundancy-1/2", "MFC-1/2-1BPC",
+        ]
+
+    def test_fig11_includes_prior_work(self) -> None:
+        names = {r.name for r in fig11_data(FAST)}
+        assert {"WOM", "Redundancy-1/2", "MFC-1/2-1BPC"} <= names
+
+    def test_fig12_is_all_mfcs(self) -> None:
+        names = [r.name for r in fig12_data(FAST)]
+        assert len(names) == 5
+        assert all(name.startswith("MFC") for name in names)
+
+    def test_formatting(self) -> None:
+        text = format_rectangles(fig1_data(FAST), "Fig. 1")
+        assert "Fig. 1" in text and "aggregate" in text
+
+
+class TestFig13:
+    def test_series_shape(self) -> None:
+        series = fig13_data(FAST)
+        assert set(series) == {
+            "WOM", "MFC-4/5", "MFC-1/2-1BPC", "Redundancy-1/2",
+        }
+        for points in series.values():
+            assert [goal for goal, _ in points] == [0.25, 0.5, 1.0, 2.0]
+            assert all(cost > 0 for _, cost in points)
+
+    def test_custom_goals(self) -> None:
+        series = fig13_data(FAST, capacity_goals=(1.0,))
+        assert all(len(points) == 1 for points in series.values())
+
+    def test_formatting(self) -> None:
+        assert "raw capacity" in format_fig13(fig13_data(FAST))
+
+
+class TestFig14:
+    def test_series_shape(self) -> None:
+        series = fig14_data(FAST, page_bytes_values=(64, 128))
+        assert set(series) == {"wom", "mfc-1/2-1bpc", "mfc-1/2-2bpc"}
+        for points in series.values():
+            assert [size for size, _ in points] == [64, 128]
+
+    def test_default_sweep_respects_config(self) -> None:
+        series = fig14_data(FAST)  # page_bytes=96 -> ceiling 1024
+        sizes = [size for size, _ in series["wom"]]
+        assert sizes[0] == 64 and sizes[-1] == 1024
+
+    def test_formatting(self) -> None:
+        text = format_fig14(fig14_data(FAST, page_bytes_values=(64,)))
+        assert "page size" in text and "64B" in text
+
+
+class TestFig15And16:
+    def test_fig15_keys_and_ranges(self) -> None:
+        series = fig15_data(FAST)
+        assert set(series) == {"WOM", "MFC-1/2-1BPC"}
+        for data in series.values():
+            assert 0 in data  # the overall average
+            assert all(0 <= fraction <= 1 for fraction in data.values())
+
+    def test_fig16_distributions(self) -> None:
+        series = fig16_data(FAST)
+        for histogram in series.values():
+            assert isinstance(histogram, np.ndarray)
+            assert histogram.sum() == pytest.approx(1.0)
+
+    def test_formatting(self) -> None:
+        assert "incremented" in format_fig15(fig15_data(FAST))
+        assert "histogram" in format_fig16(fig16_data(FAST))

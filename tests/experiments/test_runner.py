@@ -1,0 +1,31 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import main
+
+FAST_ARGS = ["--page-bytes", "96", "--cycles", "1", "--constraint-length", "3"]
+
+
+class TestExperimentsCli:
+    def test_table1(self, capsys) -> None:
+        assert main(["table1", *FAST_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "MFC-1/2-1BPC" in out and "aggregate" in out
+
+    @pytest.mark.parametrize("figure", ["fig1", "fig13", "fig15", "fig16"])
+    def test_individual_figures(self, figure: str, capsys) -> None:
+        assert main([figure, *FAST_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {figure} " in out
+
+    def test_header_reports_config(self, capsys) -> None:
+        main(["fig15", *FAST_ARGS])
+        out = capsys.readouterr().out
+        assert "page 96 B" in out and "K=3" in out
+
+    def test_unknown_experiment_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,75 @@
+"""Tests for the Table I experiment machinery (small, fast configs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, format_table1, run_table1
+
+FAST = ExperimentConfig(page_bytes=96, cycles=2, seed=5, constraint_length=3)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(FAST)
+
+
+class TestRunTable1:
+    def test_all_schemes_present_in_order(self, rows) -> None:
+        names = [row.name for row in rows]
+        assert names == [
+            "Uncoded", "Redundancy-1/2", "WOM", "MFC-1/2-1BPC",
+            "MFC-1/2-2BPC", "MFC-2/3", "MFC-3/4", "MFC-4/5",
+        ]
+
+    def test_baselines_exact(self, rows) -> None:
+        by_name = {row.name: row for row in rows}
+        assert by_name["Uncoded"].lifetime_gain == 1.0
+        assert by_name["Redundancy-1/2"].lifetime_gain == 2.0
+
+    def test_aggregate_is_product(self, rows) -> None:
+        for row in rows:
+            assert row.aggregate_gain == pytest.approx(
+                row.rate * row.lifetime_gain
+            )
+
+    def test_headline_wins(self, rows) -> None:
+        by_name = {row.name: row for row in rows}
+        assert by_name["MFC-1/2-1BPC"].aggregate_gain == max(
+            row.aggregate_gain for row in rows
+        )
+
+    def test_subset_selection(self) -> None:
+        rows = run_table1(FAST, schemes=("uncoded", "wom"))
+        assert [row.name for row in rows] == ["Uncoded", "WOM"]
+
+    def test_deterministic(self) -> None:
+        a = run_table1(FAST, schemes=("wom",))
+        b = run_table1(FAST, schemes=("wom",))
+        assert a[0].lifetime_gain == b[0].lifetime_gain
+
+
+class TestFormatting:
+    def test_format_contains_all_rows(self, rows) -> None:
+        text = format_table1(rows)
+        for row in rows:
+            assert row.name in text
+        assert "rate" in text and "aggregate" in text
+
+
+class TestConfig:
+    def test_env_override(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_PAGE_BYTES", "123")
+        monkeypatch.setenv("REPRO_CYCLES", "9")
+        config = ExperimentConfig.from_env()
+        assert config.page_bytes == 123
+        assert config.cycles == 9
+        assert config.page_bits == 984
+
+    def test_defaults(self, monkeypatch) -> None:
+        for var in ("REPRO_PAGE_BYTES", "REPRO_CYCLES", "REPRO_SEED",
+                    "REPRO_CONSTRAINT_LENGTH"):
+            monkeypatch.delenv(var, raising=False)
+        config = ExperimentConfig.from_env()
+        assert config.page_bytes == 512
+        assert config.constraint_length == 7

@@ -1,0 +1,128 @@
+"""Tests for blocks, chips, geometry and stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BlockWornOutError,
+    ConfigurationError,
+    LogicalAddressError,
+)
+from repro.flash import FlashChip, FlashGeometry, MLC, SLC
+
+
+class TestGeometry:
+    def test_defaults_are_consistent(self) -> None:
+        geometry = FlashGeometry()
+        assert geometry.total_pages == geometry.blocks * geometry.pages_per_block
+        assert geometry.raw_bits == geometry.total_pages * geometry.page_bits
+        assert geometry.wordlines_per_block * geometry.cell.pages_per_wordline == (
+            geometry.pages_per_block
+        )
+
+    def test_pages_must_divide_into_wordlines(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(pages_per_block=5, cell=MLC)
+
+    def test_rejects_bad_params(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(blocks=0)
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(page_bits=0)
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(erase_limit=0)
+
+
+class TestBlockWearout:
+    def test_block_wears_out_after_erase_limit(self, chip: FlashChip) -> None:
+        limit = chip.geometry.erase_limit
+        for _ in range(limit):
+            chip.erase_block(0)
+        assert chip.blocks[0].worn_out
+        with pytest.raises(BlockWornOutError):
+            chip.erase_block(0)
+        with pytest.raises(BlockWornOutError):
+            chip.program_page(0, 0, np.zeros(chip.geometry.page_bits, np.uint8))
+
+    def test_live_blocks_counts_survivors(self, chip: FlashChip) -> None:
+        assert chip.live_blocks == 2
+        for _ in range(chip.geometry.erase_limit):
+            chip.erase_block(0)
+        assert chip.live_blocks == 1
+
+
+class TestChipOperations:
+    def test_program_read_roundtrip(self, chip: FlashChip, rng) -> None:
+        bits = rng.integers(0, 2, chip.geometry.page_bits).astype(np.uint8)
+        chip.program_page(0, 0, bits)
+        assert np.array_equal(chip.read_page(0, 0), bits)
+
+    def test_erase_clears_all_pages_in_block_only(self, chip: FlashChip) -> None:
+        ones = np.ones(chip.geometry.page_bits, np.uint8)
+        chip.program_page(0, 0, ones)
+        chip.program_page(1, 0, ones)
+        chip.erase_block(0)
+        assert chip.read_page(0, 0).sum() == 0
+        assert chip.read_page(1, 0).sum() == chip.geometry.page_bits
+
+    def test_bad_addresses(self, chip: FlashChip) -> None:
+        with pytest.raises(LogicalAddressError):
+            chip.read_page(9, 0)
+        with pytest.raises(LogicalAddressError):
+            chip.read_page(0, 99)
+
+    def test_mlc_pairing_inside_block(self, chip: FlashChip) -> None:
+        # Pages 0 and 1 share wordline 0; programming page 0 moves shared
+        # cells to L1, which constrains page 1's cells too.
+        block = chip.blocks[0]
+        wordline, index = block.wordline_of_page(0)
+        assert index == 0
+        other, other_index = block.wordline_of_page(1)
+        assert other is wordline and other_index == 1
+
+
+class TestStats:
+    def test_counters(self, chip: FlashChip) -> None:
+        bits = np.zeros(chip.geometry.page_bits, np.uint8)
+        bits[:5] = 1
+        chip.program_page(0, 0, bits)
+        chip.read_page(0, 0)
+        chip.erase_block(0)
+        summary = chip.stats.summary()
+        assert summary["page_programs"] == 1
+        assert summary["page_reads"] == 1
+        assert summary["block_erases"] == 1
+        assert summary["bits_programmed"] == 5
+        assert summary["max_block_erases"] == 1
+
+    def test_bits_programmed_counts_new_bits_only(self, chip: FlashChip) -> None:
+        first = np.zeros(chip.geometry.page_bits, np.uint8)
+        first[:3] = 1
+        chip.program_page(0, 0, first)
+        second = first.copy()
+        second[3] = 1
+        chip.program_page(0, 0, second)
+        assert chip.stats.bits_programmed == 4
+
+    def test_erase_counts_per_block(self, chip: FlashChip) -> None:
+        chip.erase_block(1)
+        chip.erase_block(1)
+        assert chip.block_erase_counts() == [0, 2]
+        assert chip.stats.max_block_erases == 2
+
+
+class TestSLCChip:
+    def test_slc_chip_basic(self, slc_chip: FlashChip, rng) -> None:
+        bits = rng.integers(0, 2, slc_chip.geometry.page_bits).astype(np.uint8)
+        slc_chip.program_page(0, 0, bits)
+        assert np.array_equal(slc_chip.read_page(0, 0), bits)
+
+
+class TestTLCChip:
+    def test_tlc_wordline_grouping(self, tlc_chip: FlashChip) -> None:
+        block = tlc_chip.blocks[0]
+        assert len(block.wordlines) == 2
+        wordline, index = block.wordline_of_page(4)
+        assert wordline is block.wordlines[1] and index == 1

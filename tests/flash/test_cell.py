@@ -1,0 +1,152 @@
+"""Tests for the physical cell models (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, IllegalTransitionError
+from repro.flash import IDEAL_MLC, MLC, SLC, TLC
+from repro.flash.cell import CellModel
+
+
+LEGAL = {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+
+class TestMLCTransitions:
+    """The realistic MLC supports exactly the Fig. 2 transition set."""
+
+    @pytest.mark.parametrize("current,target", sorted(LEGAL))
+    def test_legal_transitions(self, current: int, target: int) -> None:
+        assert MLC.is_legal_transition(current, target)
+
+    @pytest.mark.parametrize(
+        "current,target",
+        [(c, t) for c in range(4) for t in range(4) if c != t and (c, t) not in LEGAL],
+    )
+    def test_illegal_transitions(self, current: int, target: int) -> None:
+        assert not MLC.is_legal_transition(current, target)
+
+    def test_l1_to_l2_is_the_papers_example(self) -> None:
+        # Fig. 2: moving L1 -> L2 would flip the page-x bit the wrong way.
+        assert not MLC.is_legal_transition(1, 2)
+
+    def test_l0_to_l3_needs_two_program_requests(self) -> None:
+        # Fig. 2: L0 -> L3 programs both pages, illegal as one request, but
+        # reachable in two legal steps (L0 -> L1 -> L3 or L0 -> L2 -> L3).
+        assert not MLC.is_legal_transition(0, 3)
+        assert MLC.is_legal_transition(0, 1) and MLC.is_legal_transition(1, 3)
+        assert MLC.is_legal_transition(0, 2) and MLC.is_legal_transition(2, 3)
+
+    def test_staying_put_is_legal(self) -> None:
+        for level in range(4):
+            assert MLC.is_legal_transition(level, level)
+
+    def test_decreases_are_never_legal(self) -> None:
+        for current in range(4):
+            for target in range(current):
+                assert not MLC.is_legal_transition(current, target)
+
+    def test_check_transition_raises(self) -> None:
+        with pytest.raises(IllegalTransitionError):
+            MLC.check_transition(1, 2)
+
+    def test_legal_targets(self) -> None:
+        assert MLC.legal_targets(0) == (1, 2)
+        assert MLC.legal_targets(1) == (3,)
+        assert MLC.legal_targets(2) == (3,)
+        assert MLC.legal_targets(3) == ()
+
+
+class TestIdealMLC:
+    """The ideal interface allows every monotone increase."""
+
+    def test_all_increases_legal(self) -> None:
+        for current in range(4):
+            for target in range(current + 1, 4):
+                assert IDEAL_MLC.is_legal_transition(current, target)
+
+    def test_decreases_still_illegal(self) -> None:
+        for current in range(4):
+            for target in range(current):
+                assert not IDEAL_MLC.is_legal_transition(current, target)
+
+    def test_ideal_differs_from_real_exactly_on_quirks(self) -> None:
+        differing = {
+            (c, t)
+            for c in range(4)
+            for t in range(4)
+            if MLC.is_legal_transition(c, t) != IDEAL_MLC.is_legal_transition(c, t)
+        }
+        assert differing == {(0, 3), (1, 2)}
+
+
+class TestSLC:
+    def test_single_program(self) -> None:
+        assert SLC.is_legal_transition(0, 1)
+        assert not SLC.is_legal_transition(1, 0)
+        assert SLC.pages_per_wordline == 1
+
+
+class TestTLC:
+    def test_eight_levels_three_pages(self) -> None:
+        assert TLC.levels == 8
+        assert TLC.pages_per_wordline == 3
+
+    def test_transitions_are_monotone_single_page(self) -> None:
+        for current in range(8):
+            for target in TLC.legal_targets(current):
+                cur_bits = TLC.bits_of_level(current)
+                tgt_bits = TLC.bits_of_level(target)
+                changed = [
+                    page for page in range(3) if cur_bits[page] != tgt_bits[page]
+                ]
+                assert len(changed) == 1
+                assert cur_bits[changed[0]] == 0 and tgt_bits[changed[0]] == 1
+
+    def test_saturated_level_has_no_targets(self) -> None:
+        assert TLC.legal_targets(7) == ()
+
+
+class TestBitMappings:
+    def test_mlc_level_bits_roundtrip(self) -> None:
+        for level in range(4):
+            assert MLC.level_of_bits(MLC.bits_of_level(level)) == level
+
+    def test_erased_level_is_all_zero(self) -> None:
+        for model in (SLC, MLC, TLC, IDEAL_MLC):
+            assert model.bits_of_level(0) == (0,) * model.pages_per_wordline
+
+    def test_unknown_pattern_raises(self) -> None:
+        with pytest.raises(IllegalTransitionError):
+            # SLC patterns are 1 bit wide; a 2-wide pattern is meaningless.
+            SLC.level_of_bits((1, 1))
+
+    def test_level_out_of_range(self) -> None:
+        with pytest.raises(ConfigurationError):
+            MLC.bits_of_level(4)
+
+
+class TestCellModelValidation:
+    def test_rejects_nonzero_erased_level(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=2, level_to_bits=((1,), (0,)))
+
+    def test_rejects_duplicate_patterns(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=2, level_to_bits=((0,), (0,)))
+
+    def test_rejects_mismatched_widths(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=2, level_to_bits=((0,), (1, 1)))
+
+    def test_rejects_wrong_entry_count(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=3, level_to_bits=((0,), (1,)))
+
+    def test_rejects_non_binary(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=2, level_to_bits=((0,), (2,)))
+
+    def test_rejects_single_level(self) -> None:
+        with pytest.raises(ConfigurationError):
+            CellModel(kind="bad", levels=1, level_to_bits=((0,),))

@@ -1,0 +1,85 @@
+"""Tests for the wear-dependent noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash.noise import WearNoiseModel
+
+
+class TestBerCurve:
+    def test_fresh_block_at_floor(self) -> None:
+        model = WearNoiseModel(floor_ber=1e-6)
+        assert model.ber(0) == pytest.approx(1e-6)
+
+    def test_ber_grows_with_wear(self) -> None:
+        model = WearNoiseModel()
+        rates = [model.ber(cycles) for cycles in (0, 1000, 2000, 3000)]
+        assert rates == sorted(rates)
+        assert rates[-1] > 100 * rates[0]
+
+    def test_ber_capped_at_half(self) -> None:
+        model = WearNoiseModel(floor_ber=0.1, growth=10, rated_cycles=10)
+        assert model.ber(1000) == 0.5
+
+    def test_rated_cycle_growth_factor(self) -> None:
+        model = WearNoiseModel(floor_ber=1e-6, growth=6.0, rated_cycles=3000)
+        assert model.ber(3000) == pytest.approx(1e-6 * np.exp(6.0))
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            WearNoiseModel(floor_ber=1.5)
+        with pytest.raises(ConfigurationError):
+            WearNoiseModel(rated_cycles=0)
+
+
+class TestCorruption:
+    def test_no_floor_no_flips(self) -> None:
+        model = WearNoiseModel(floor_ber=0.0)
+        bits = np.ones(100, np.uint8)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(model.corrupt(bits, 0, rng), bits)
+
+    def test_flip_count_tracks_ber(self) -> None:
+        model = WearNoiseModel(floor_ber=0.1, growth=0.0)
+        bits = np.zeros(10_000, np.uint8)
+        rng = np.random.default_rng(1)
+        corrupted = model.corrupt(bits, 0, rng)
+        flips = int(corrupted.sum())
+        assert 800 < flips < 1200  # ~10% of 10k
+
+    def test_original_untouched(self) -> None:
+        model = WearNoiseModel(floor_ber=0.5, growth=0.0)
+        bits = np.zeros(100, np.uint8)
+        model.corrupt(bits, 0, np.random.default_rng(2))
+        assert bits.sum() == 0
+
+    def test_expected_errors(self) -> None:
+        model = WearNoiseModel(floor_ber=1e-3, growth=0.0)
+        assert model.expected_errors(4096, 0) == pytest.approx(4.096)
+
+
+class TestEccSurvivesRealisticNoise:
+    def test_ecc_mfc_reads_through_noise(self) -> None:
+        """The Section V.B story end to end: wear -> errors -> correction."""
+        from repro.coding.ecc_coset import EccIntegratedCosetCode
+
+        code = EccIntegratedCosetCode(page_bits=1536, constraint_length=4)
+        model = WearNoiseModel(floor_ber=1e-4, growth=0.0)
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
+        page = code.encode(data, np.zeros(code.page_bits, np.uint8))
+        survived = 0
+        for trial in range(20):
+            noisy = model.corrupt(page, erase_count=0,
+                                  rng=np.random.default_rng(trial))
+            report = code.decode_with_report(noisy)
+            if report.detected_uncorrectable == 0 and np.array_equal(
+                report.data, data
+            ):
+                survived += 1
+        # At BER 1e-4 a 1536-bit page sees ~0.15 errors per read; nearly
+        # every read must decode cleanly or with a transparent correction.
+        assert survived >= 18

@@ -1,0 +1,72 @@
+"""Tests for the optional partial-program (NOP) limit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_scheme
+from repro.errors import ConfigurationError, PartialProgramLimitError
+from repro.flash import FlashChip, FlashGeometry, Page
+from repro.ftl import RewritingFTL
+
+
+class TestPageLimit:
+    def test_unlimited_by_default(self) -> None:
+        page = Page(4)
+        for i in range(10):
+            bits = np.zeros(4, np.uint8)
+            bits[: min(i + 1, 4)] = 1
+            page.apply_program(page.validate_program(bits))
+
+    def test_limit_enforced(self) -> None:
+        page = Page(4, max_partial_programs=2)
+        page.apply_program(page.validate_program(np.array([1, 0, 0, 0], np.uint8)))
+        page.apply_program(page.validate_program(np.array([1, 1, 0, 0], np.uint8)))
+        with pytest.raises(PartialProgramLimitError, match="NOP"):
+            page.validate_program(np.array([1, 1, 1, 0], np.uint8))
+
+    def test_erase_resets_budget(self) -> None:
+        page = Page(4, max_partial_programs=1)
+        page.apply_program(page.validate_program(np.ones(4, np.uint8)))
+        page.erase()
+        page.apply_program(page.validate_program(np.ones(4, np.uint8)))
+
+    def test_geometry_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(max_partial_programs=0)
+
+
+class TestNopLimitThroughTheStack:
+    def test_rewriting_ftl_relocates_at_nop_limit(self) -> None:
+        """With NOP=3, in-place rewrites cap at 3 then relocate."""
+        geometry = FlashGeometry(blocks=4, pages_per_block=4, page_bits=96,
+                                 erase_limit=100, max_partial_programs=3)
+        chip = FlashChip(geometry)
+        scheme = make_scheme("mfc-1/2-1bpc", 96, constraint_length=3)
+        ftl = RewritingFTL(chip, scheme, logical_pages=2)
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            data = rng.integers(0, 2, scheme.dataword_bits, dtype=np.uint8)
+            ftl.write(0, data)
+            assert np.array_equal(ftl.read(0), data)
+        # 12 writes with 3 programs/page => at least 3 relocations happened.
+        assert ftl.stats.relocations >= 3
+        assert ftl.stats.in_place_rewrites <= 9
+
+    def test_nop_limit_reduces_effective_gain(self) -> None:
+        """The knob quantifies how much PWE freedom the codes rely on."""
+        results = {}
+        for nop in (2, None):
+            geometry = FlashGeometry(blocks=4, pages_per_block=4, page_bits=96,
+                                     erase_limit=100,
+                                     max_partial_programs=nop)
+            chip = FlashChip(geometry)
+            scheme = make_scheme("mfc-1/2-1bpc", 96, constraint_length=3)
+            ftl = RewritingFTL(chip, scheme, logical_pages=2)
+            rng = np.random.default_rng(1)
+            for _ in range(30):
+                ftl.write(0, rng.integers(0, 2, scheme.dataword_bits,
+                                          dtype=np.uint8))
+            results[nop] = ftl.stats.in_place_rewrites
+        assert results[None] > results[2]

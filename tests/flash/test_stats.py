@@ -1,0 +1,36 @@
+"""Direct tests for the FlashStats accounting helpers."""
+
+from __future__ import annotations
+
+from repro.flash import FlashStats
+
+
+class TestFlashStats:
+    def test_empty_summary(self) -> None:
+        stats = FlashStats()
+        summary = stats.summary()
+        assert summary == {
+            "page_reads": 0,
+            "page_programs": 0,
+            "block_erases": 0,
+            "bits_programmed": 0,
+            "max_block_erases": 0,
+        }
+
+    def test_record_sequence(self) -> None:
+        stats = FlashStats()
+        stats.record_read()
+        stats.record_program(bits_set=12)
+        stats.record_program(bits_set=3)
+        stats.record_erase(0)
+        stats.record_erase(0)
+        stats.record_erase(2)
+        assert stats.page_reads == 1
+        assert stats.page_programs == 2
+        assert stats.bits_programmed == 15
+        assert stats.block_erases == 3
+        assert stats.erases_per_block == {0: 2, 2: 1}
+        assert stats.max_block_erases == 2
+
+    def test_max_block_erases_empty(self) -> None:
+        assert FlashStats().max_block_erases == 0

@@ -1,0 +1,110 @@
+"""Tests for wordlines coupling pages onto shared physical cells."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IllegalTransitionError, PageProgramError
+from repro.flash import IDEAL_MLC, MLC, Page, SLC, Wordline
+
+
+def make_wordline(cell=MLC, page_bits: int = 8) -> Wordline:
+    pages = [Page(page_bits) for _ in range(cell.pages_per_wordline)]
+    return Wordline(cell, pages)
+
+
+class TestReadLevels:
+    def test_erased_wordline_is_all_l0(self) -> None:
+        wordline = make_wordline()
+        assert np.array_equal(wordline.read_levels(), np.zeros(8, int))
+
+    def test_levels_follow_bit_patterns(self) -> None:
+        wordline = make_wordline(page_bits=4)
+        # Program page x (index 0) of cells 0 and 1 -> those cells go to L1.
+        wordline.program_page(0, np.array([1, 1, 0, 0], np.uint8))
+        assert wordline.read_levels().tolist() == [1, 1, 0, 0]
+        # Program page y of cell 1 (L1 -> L3) and cell 2 (L0 -> L2).
+        wordline.program_page(1, np.array([0, 1, 1, 0], np.uint8))
+        assert wordline.read_levels().tolist() == [1, 3, 2, 0]
+
+
+class TestProgramPageConstraints:
+    def test_programming_one_page_moves_levels_legally(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        wordline.program_page(0, np.array([1, 0], np.uint8))  # cell0 L0->L1
+        wordline.program_page(1, np.array([1, 1], np.uint8))  # L1->L3, L0->L2
+        assert wordline.read_levels().tolist() == [3, 2]
+
+    def test_clearing_bits_rejected_via_page(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        wordline.program_page(0, np.array([1, 1], np.uint8))
+        with pytest.raises(PageProgramError):
+            wordline.program_page(0, np.array([0, 1], np.uint8))
+
+    def test_wrong_page_index(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        with pytest.raises(PageProgramError):
+            wordline.program_page(2, np.zeros(2, np.uint8))
+
+
+class TestProgramLevels:
+    """program_levels is the call an ideal-cell code would make."""
+
+    def test_real_mlc_rejects_l1_to_l2(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        wordline.program_levels(np.array([1, 0]))
+        with pytest.raises(IllegalTransitionError, match="L1 to L2|L1 -> L2"):
+            wordline.program_levels(np.array([2, 0]))
+
+    def test_real_mlc_rejects_one_shot_l0_to_l3(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        with pytest.raises(IllegalTransitionError):
+            wordline.program_levels(np.array([3, 0]))
+
+    def test_real_mlc_allows_two_step_l0_to_l3(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        wordline.program_levels(np.array([1, 0]))
+        wordline.program_levels(np.array([3, 0]))
+        assert wordline.read_levels().tolist() == [3, 0]
+
+    def test_ideal_mlc_accepts_any_increase(self) -> None:
+        wordline = make_wordline(cell=IDEAL_MLC, page_bits=4)
+        wordline.program_levels(np.array([3, 2, 1, 0]))
+        assert wordline.read_levels().tolist() == [3, 2, 1, 0]
+        wordline.program_levels(np.array([3, 3, 2, 1]))
+        assert wordline.read_levels().tolist() == [3, 3, 2, 1]
+
+    def test_ideal_mlc_rejects_decrease(self) -> None:
+        wordline = make_wordline(cell=IDEAL_MLC, page_bits=2)
+        wordline.program_levels(np.array([2, 0]))
+        with pytest.raises(IllegalTransitionError):
+            wordline.program_levels(np.array([1, 0]))
+
+    def test_shape_checked(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        with pytest.raises(PageProgramError):
+            wordline.program_levels(np.array([1, 0, 0]))
+
+    def test_slc_wordline(self) -> None:
+        wordline = make_wordline(cell=SLC, page_bits=4)
+        wordline.program_levels(np.array([1, 0, 1, 0]))
+        assert wordline.read_levels().tolist() == [1, 0, 1, 0]
+        with pytest.raises(IllegalTransitionError):
+            wordline.program_levels(np.array([0, 0, 1, 0]))
+
+
+class TestEraseAndConstruction:
+    def test_erase_resets_levels(self) -> None:
+        wordline = make_wordline(page_bits=2)
+        wordline.program_page(0, np.array([1, 1], np.uint8))
+        wordline.erase()
+        assert wordline.read_levels().tolist() == [0, 0]
+
+    def test_wrong_page_count_rejected(self) -> None:
+        with pytest.raises(PageProgramError):
+            Wordline(MLC, [Page(4)])
+
+    def test_mismatched_page_sizes_rejected(self) -> None:
+        with pytest.raises(PageProgramError):
+            Wordline(MLC, [Page(4), Page(8)])

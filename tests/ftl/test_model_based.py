@@ -1,0 +1,102 @@
+"""Model-based fuzzing of the FTL against a reference dict semantics.
+
+Random interleavings of writes, trims and reads must behave exactly like a
+dictionary from logical page to last-written data, regardless of GC,
+migrations, relocations, or NOP limits happening underneath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_scheme
+from repro.errors import OutOfSpaceError
+from repro.flash import FlashChip, FlashGeometry, SLC
+from repro.ftl import BasicFTL, RewritingFTL, StaticWearLeveling
+
+
+def reference_check(ftl, model: dict[int, np.ndarray], lpns) -> None:
+    for lpn in lpns:
+        expected = model.get(lpn)
+        actual = ftl.read(lpn)
+        if expected is None:
+            assert actual.sum() == 0, f"lpn {lpn} should read as zeros"
+        else:
+            assert np.array_equal(actual, expected), f"lpn {lpn} mismatch"
+
+
+class TestBasicFtlModel:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_ops_match_dict_semantics(self, seed: int) -> None:
+        chip = FlashChip(
+            FlashGeometry(blocks=5, pages_per_block=4, page_bits=16,
+                          erase_limit=10_000, cell=SLC)
+        )
+        ftl = BasicFTL(chip, logical_pages=10,
+                       wear_leveling=StaticWearLeveling(threshold=6),
+                       wl_check_interval=7)
+        rng = np.random.default_rng(seed)
+        model: dict[int, np.ndarray] = {}
+        for _ in range(120):
+            op = rng.random()
+            lpn = int(rng.integers(0, 10))
+            if op < 0.6:
+                data = rng.integers(0, 2, 16, dtype=np.uint8)
+                ftl.write(lpn, data)
+                model[lpn] = data
+            elif op < 0.75:
+                ftl.trim(lpn)
+                model.pop(lpn, None)
+            else:
+                reference_check(ftl, model, [lpn])
+        reference_check(ftl, model, range(10))
+
+
+class TestRewritingFtlModel:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_ops_match_dict_semantics(self, seed: int) -> None:
+        chip = FlashChip(
+            FlashGeometry(blocks=5, pages_per_block=4, page_bits=96,
+                          erase_limit=10_000, max_partial_programs=5)
+        )
+        scheme = make_scheme("wom", 96)
+        ftl = RewritingFTL(chip, scheme, logical_pages=8)
+        rng = np.random.default_rng(seed)
+        model: dict[int, np.ndarray] = {}
+        for _ in range(80):
+            op = rng.random()
+            lpn = int(rng.integers(0, 8))
+            if op < 0.65:
+                data = rng.integers(0, 2, ftl.dataword_bits, dtype=np.uint8)
+                ftl.write(lpn, data)
+                model[lpn] = data
+            elif op < 0.8:
+                ftl.trim(lpn)
+                model.pop(lpn, None)
+            else:
+                reference_check(ftl, model, [lpn])
+        reference_check(ftl, model, range(8))
+
+
+class TestModelUntilDeath:
+    def test_semantics_hold_until_out_of_space(self) -> None:
+        """Even while dying, every accepted write is readable."""
+        chip = FlashChip(
+            FlashGeometry(blocks=4, pages_per_block=4, page_bits=16,
+                          erase_limit=5, cell=SLC)
+        )
+        ftl = BasicFTL(chip, logical_pages=6)
+        rng = np.random.default_rng(0)
+        model: dict[int, np.ndarray] = {}
+        with pytest.raises(OutOfSpaceError):
+            for _ in range(100_000):
+                lpn = int(rng.integers(0, 6))
+                data = rng.integers(0, 2, 16, dtype=np.uint8)
+                ftl.write(lpn, data)
+                model[lpn] = data
+        reference_check(ftl, model, range(6))

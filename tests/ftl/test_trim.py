@@ -1,0 +1,67 @@
+"""Tests for the TRIM command."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashChip, FlashGeometry, SLC
+from repro.ftl import BasicFTL
+from repro.ftl.mapping import PhysicalPageState
+
+
+@pytest.fixture
+def ftl() -> BasicFTL:
+    chip = FlashChip(FlashGeometry(blocks=4, pages_per_block=4, page_bits=32,
+                                   erase_limit=100, cell=SLC))
+    return BasicFTL(chip, logical_pages=8)
+
+
+class TestTrim:
+    def test_trimmed_page_reads_zero(self, ftl: BasicFTL) -> None:
+        rng = np.random.default_rng(0)
+        ftl.write(3, rng.integers(0, 2, 32, dtype=np.uint8))
+        ftl.trim(3)
+        assert ftl.read(3).sum() == 0
+
+    def test_trim_marks_physical_page_invalid(self, ftl: BasicFTL) -> None:
+        ftl.write(0, np.ones(32, np.uint8))
+        addr = ftl.mapping.lookup(0)
+        ftl.trim(0)
+        assert ftl.mapping.state(addr) is PhysicalPageState.INVALID
+        assert ftl.mapping.lookup(0) is None
+
+    def test_trim_unmapped_is_noop(self, ftl: BasicFTL) -> None:
+        ftl.trim(5)
+        assert ftl.read(5).sum() == 0
+
+    def test_rewrite_after_trim(self, ftl: BasicFTL) -> None:
+        rng = np.random.default_rng(1)
+        ftl.write(2, rng.integers(0, 2, 32, dtype=np.uint8))
+        ftl.trim(2)
+        data = rng.integers(0, 2, 32, dtype=np.uint8)
+        ftl.write(2, data)
+        assert np.array_equal(ftl.read(2), data)
+
+    def test_trim_reduces_gc_relocations(self) -> None:
+        """Trimmed data never needs relocating — the point of TRIM."""
+
+        def run(trim: bool) -> int:
+            chip = FlashChip(FlashGeometry(blocks=4, pages_per_block=4,
+                                           page_bits=32, erase_limit=1000,
+                                           cell=SLC))
+            ftl = BasicFTL(chip, logical_pages=8)
+            rng = np.random.default_rng(2)
+            # Interleave hot (0-3) and cold (4-7) pages so each block holds
+            # a mix; GC on a mixed block must relocate the live cold pages.
+            for lpn in (0, 4, 1, 5, 2, 6, 3, 7):
+                ftl.write(lpn, rng.integers(0, 2, 32, dtype=np.uint8))
+            if trim:
+                for lpn in range(4, 8):  # host deletes its cold data
+                    ftl.trim(lpn)
+            for i in range(60):  # hammer the hot pages
+                ftl.write(i % 4, rng.integers(0, 2, 32, dtype=np.uint8))
+            return ftl.stats.gc_relocations
+
+        assert run(trim=False) > 0
+        assert run(trim=True) < run(trim=False)

@@ -1,0 +1,71 @@
+"""Device-level noise: only ECC-integrated schemes read back clean data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashChip, FlashGeometry
+from repro.flash.noise import WearNoiseModel
+from repro.ssd import SSD
+
+#: Flat noise tuned so a 1536-bit page sees ~0.8 raw errors per read:
+#: within SECDED's single-error budget most of the time, but enough to
+#: corrupt unprotected schemes on most reads.
+NOISE = WearNoiseModel(floor_ber=5e-4, growth=0.0)
+GEOM = FlashGeometry(blocks=4, pages_per_block=4, page_bits=1536,
+                     erase_limit=100)
+
+
+class TestChipNoise:
+    def test_noisy_reads_differ_precise_reads_do_not(self) -> None:
+        chip = FlashChip(GEOM, noise_model=NOISE, noise_seed=1)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, GEOM.page_bits, dtype=np.uint8)
+        chip.program_page(0, 0, bits)
+        precise = chip.read_page(0, 0, noisy=False)
+        assert np.array_equal(precise, bits)
+        noisy_reads = [chip.read_page(0, 0) for _ in range(5)]
+        assert any(not np.array_equal(read, bits) for read in noisy_reads)
+
+    def test_no_model_means_clean_reads(self) -> None:
+        chip = FlashChip(GEOM)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, GEOM.page_bits, dtype=np.uint8)
+        chip.program_page(0, 0, bits)
+        assert np.array_equal(chip.read_page(0, 0), bits)
+
+
+class TestNoisyDevices:
+    def _mismatched_reads(self, scheme: str, **kwargs) -> int:
+        ssd = SSD(geometry=GEOM, scheme=scheme, utilization=0.5,
+                  noise_model=NOISE, noise_seed=2, **kwargs)
+        rng = np.random.default_rng(3)
+        mismatches = 0
+        trials = 30
+        for trial in range(trials):
+            lpn = trial % ssd.logical_pages
+            data = rng.integers(0, 2, ssd.logical_page_bits, dtype=np.uint8)
+            ssd.write(lpn, data)
+            if not np.array_equal(ssd.read(lpn), data):
+                mismatches += 1
+        return mismatches
+
+    def test_uncoded_device_returns_corrupted_data(self) -> None:
+        # ~0.8 raw errors per read: uncoded has no protection, so roughly
+        # half the reads come back wrong.
+        assert self._mismatched_reads("uncoded") > 8
+
+    def test_ecc_mfc_device_reads_clean(self) -> None:
+        # The ECC-integrated MFC corrects single-cell damage per read; at
+        # this BER most reads carry 0-1 cell errors and decode clean.
+        mismatches = self._mismatched_reads("mfc-ecc", constraint_length=4)
+        assert mismatches < 10
+        assert mismatches < self._mismatched_reads("uncoded") / 2
+
+    def test_plain_mfc_is_not_error_tolerant(self) -> None:
+        # Contrast: the plain MFC has rewriting but no protection, so noisy
+        # host reads corrupt its data too — ECC genuinely adds something.
+        assert self._mismatched_reads(
+            "mfc-1/2-1bpc", constraint_length=4
+        ) > 5

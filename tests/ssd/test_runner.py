@@ -1,0 +1,42 @@
+"""Tests for the SSD CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssd import save_trace
+from repro.ssd.runner import main
+
+
+class TestSsdCli:
+    def test_default_comparison_runs(self, capsys) -> None:
+        exit_code = main(["--schemes", "uncoded", "wom", "--max-writes", "5000",
+                          "--erase-limit", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "uncoded" in out and "wom" in out
+        assert "host writes" in out
+
+    def test_wear_leveling_sweep_labels_rows(self, capsys) -> None:
+        main(["--schemes", "wom", "--wear-leveling", "none", "dynamic",
+              "--workload", "hotcold", "--max-writes", "5000",
+              "--erase-limit", "5"])
+        out = capsys.readouterr().out
+        assert "wom/none" in out and "wom/dynamic" in out
+
+    def test_trace_replay(self, tmp_path, capsys) -> None:
+        path = tmp_path / "w.trace"
+        save_trace([0, 1, 2, 0, 0, 1], path)
+        main(["--schemes", "uncoded", "--trace", str(path),
+              "--max-writes", "2000", "--erase-limit", "4"])
+        assert "uncoded" in capsys.readouterr().out
+
+    def test_zipf_and_sequential_workloads(self, capsys) -> None:
+        for workload in ("zipf", "sequential"):
+            main(["--schemes", "uncoded", "--workload", workload,
+                  "--max-writes", "2000", "--erase-limit", "4"])
+        assert "uncoded" in capsys.readouterr().out
+
+    def test_bad_workload_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["--workload", "nonsense"])

@@ -1,0 +1,78 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ssd import (
+    HotColdWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
+
+
+class TestUniform:
+    def test_covers_address_space(self) -> None:
+        wl = UniformWorkload(16, seed=0)
+        seen = {wl.next_lpn() for _ in range(500)}
+        assert seen == set(range(16))
+
+    def test_deterministic(self) -> None:
+        a = [UniformWorkload(16, seed=5).next_lpn() for _ in range(10)]
+        b = [UniformWorkload(16, seed=5).next_lpn() for _ in range(10)]
+        assert a == b
+
+    def test_data_is_binary(self) -> None:
+        wl = UniformWorkload(4, seed=0)
+        data = wl.next_data(64)
+        assert data.shape == (64,) and set(np.unique(data)) <= {0, 1}
+
+
+class TestSequential:
+    def test_round_robin(self) -> None:
+        wl = SequentialWorkload(3)
+        assert [wl.next_lpn() for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestHotCold:
+    def test_hot_pages_dominate(self) -> None:
+        wl = HotColdWorkload(100, seed=1, hot_fraction=0.2, hot_probability=0.8)
+        hits = sum(1 for _ in range(2000) if wl.next_lpn() < wl.hot_pages)
+        assert 0.7 < hits / 2000 < 0.9
+
+    def test_cold_pages_still_written(self) -> None:
+        wl = HotColdWorkload(100, seed=2)
+        assert any(wl.next_lpn() >= wl.hot_pages for _ in range(200))
+
+    def test_bad_fractions(self) -> None:
+        with pytest.raises(ConfigurationError):
+            HotColdWorkload(10, hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HotColdWorkload(10, hot_probability=1.5)
+
+
+class TestZipf:
+    def test_rank_one_is_most_popular(self) -> None:
+        wl = ZipfWorkload(50, seed=3, skew=1.2)
+        counts = np.zeros(50, int)
+        for _ in range(3000):
+            counts[wl.next_lpn()] += 1
+        assert counts[0] == counts.max()
+        assert counts[0] > 3 * counts[25:].max()
+
+    def test_bad_skew(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ZipfWorkload(10, skew=0)
+
+    def test_lpns_in_range(self) -> None:
+        wl = ZipfWorkload(8, seed=4)
+        assert all(0 <= wl.next_lpn() < 8 for _ in range(200))
+
+
+class TestValidation:
+    def test_empty_address_space_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            UniformWorkload(0)

@@ -1,0 +1,51 @@
+"""Tests for the top-level package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self) -> None:
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_core_reexports(self) -> None:
+        scheme = repro.make_scheme("wom", 96)
+        result = repro.LifetimeSimulator(scheme, seed=0).run(cycles=1)
+        assert result.lifetime_gain == 2.0
+
+    def test_unknown_attribute(self) -> None:
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_errors_module_exposed(self) -> None:
+        assert issubclass(repro.errors.UnwritableError, repro.errors.ReproError)
+
+    def test_available_schemes_nonempty(self) -> None:
+        names = repro.available_schemes()
+        assert "mfc-1/2-1bpc" in names and "uncoded" in names
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self) -> None:
+        from repro import errors
+
+        subclasses = [
+            errors.FlashError, errors.IllegalTransitionError,
+            errors.PageProgramError, errors.BlockWornOutError,
+            errors.CellSaturatedError, errors.FTLError,
+            errors.OutOfSpaceError, errors.LogicalAddressError,
+            errors.VCellError, errors.CodingError, errors.UnwritableError,
+            errors.DecodingError, errors.ConfigurationError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_layer_grouping(self) -> None:
+        from repro import errors
+
+        assert issubclass(errors.IllegalTransitionError, errors.FlashError)
+        assert issubclass(errors.OutOfSpaceError, errors.FTLError)
+        assert issubclass(errors.UnwritableError, errors.CodingError)

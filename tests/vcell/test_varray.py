@@ -1,0 +1,140 @@
+"""Tests for vectorized v-cell page views, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CellSaturatedError, VCellError
+from repro.vcell import VCellArray, VCellSpec
+
+
+@pytest.fixture
+def varray() -> VCellArray:
+    return VCellArray(VCellSpec(levels=4), page_bits=12)  # 4 cells
+
+
+class TestShapes:
+    def test_cell_count(self, varray: VCellArray) -> None:
+        assert varray.num_cells == 4
+        assert varray.used_bits == 12
+
+    def test_leftover_bits_ignored(self) -> None:
+        varray = VCellArray(VCellSpec(levels=4), page_bits=14)
+        assert varray.num_cells == 4
+        assert varray.used_bits == 12
+
+    def test_too_small_page_rejected(self) -> None:
+        with pytest.raises(VCellError):
+            VCellArray(VCellSpec(levels=8), page_bits=5)
+
+    def test_wrong_page_shape_rejected(self, varray: VCellArray) -> None:
+        with pytest.raises(VCellError):
+            varray.levels(np.zeros(10, np.uint8))
+
+
+class TestLevels:
+    def test_erased_page_all_l0(self, varray: VCellArray) -> None:
+        assert varray.levels(varray.erased_page()).tolist() == [0, 0, 0, 0]
+
+    def test_levels_are_popcounts(self, varray: VCellArray) -> None:
+        page = np.array([1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0], np.uint8)
+        assert varray.levels(page).tolist() == [1, 2, 3, 0]
+
+    def test_histogram(self, varray: VCellArray) -> None:
+        page = np.array([1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0], np.uint8)
+        assert varray.level_histogram(page).tolist() == [1, 1, 1, 1]
+
+    def test_headroom(self, varray: VCellArray) -> None:
+        page = varray.erased_page()
+        assert varray.headroom(page) == 12
+        page = varray.program_levels(page, np.array([3, 3, 3, 3]))
+        assert varray.headroom(page) == 0
+
+
+class TestProgramLevels:
+    def test_simple_increase(self, varray: VCellArray) -> None:
+        page = varray.program_levels(varray.erased_page(), np.array([0, 1, 2, 3]))
+        assert varray.levels(page).tolist() == [0, 1, 2, 3]
+
+    def test_program_is_monotone_bitwise(self, varray: VCellArray) -> None:
+        first = varray.program_levels(varray.erased_page(), np.array([1, 1, 1, 1]))
+        second = varray.program_levels(first, np.array([2, 1, 3, 2]))
+        assert ((first == 1) <= (second == 1)).all()
+
+    def test_decrease_rejected(self, varray: VCellArray) -> None:
+        page = varray.program_levels(varray.erased_page(), np.array([2, 0, 0, 0]))
+        with pytest.raises(VCellError, match="lower"):
+            varray.program_levels(page, np.array([1, 0, 0, 0]))
+
+    def test_above_max_rejected(self, varray: VCellArray) -> None:
+        with pytest.raises(CellSaturatedError):
+            varray.program_levels(varray.erased_page(), np.array([4, 0, 0, 0]))
+
+    def test_wrong_target_count_rejected(self, varray: VCellArray) -> None:
+        with pytest.raises(VCellError):
+            varray.program_levels(varray.erased_page(), np.array([1, 1]))
+
+    def test_original_page_unmodified(self, varray: VCellArray) -> None:
+        page = varray.erased_page()
+        varray.program_levels(page, np.array([3, 3, 3, 3]))
+        assert page.sum() == 0
+
+    def test_saturated_mask(self, varray: VCellArray) -> None:
+        page = varray.program_levels(varray.erased_page(), np.array([3, 2, 3, 0]))
+        assert varray.saturated(page).tolist() == [True, False, True, False]
+
+
+class TestProperties:
+    """Property-based invariants of the v-cell page view."""
+
+    @staticmethod
+    def _random_targets(draw, varray: VCellArray, floor: np.ndarray) -> np.ndarray:
+        return np.array(
+            [
+                draw(st.integers(int(low), varray.spec.max_level))
+                for low in floor
+            ]
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_program_reaches_requested_levels(self, data) -> None:
+        varray = VCellArray(VCellSpec(levels=4), page_bits=12)
+        page = varray.erased_page()
+        floor = np.zeros(varray.num_cells, int)
+        for _ in range(3):
+            targets = self._random_targets(data.draw, varray, floor)
+            page = varray.program_levels(page, targets)
+            assert varray.levels(page).tolist() == targets.tolist()
+            floor = targets
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_bits_never_clear_across_updates(self, data) -> None:
+        varray = VCellArray(VCellSpec(levels=8), page_bits=21)
+        page = varray.erased_page()
+        floor = np.zeros(varray.num_cells, int)
+        for _ in range(4):
+            targets = self._random_targets(data.draw, varray, floor)
+            new_page = varray.program_levels(page, targets)
+            assert ((page == 1) <= (new_page == 1)).all()
+            page, floor = new_page, targets
+
+    @given(
+        levels=st.integers(2, 9),
+        page_bits=st.integers(8, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cell_count_formula(self, levels: int, page_bits: int) -> None:
+        if page_bits < levels - 1:
+            with pytest.raises(VCellError):
+                VCellArray(VCellSpec(levels=levels), page_bits=page_bits)
+            return
+        varray = VCellArray(VCellSpec(levels=levels), page_bits=page_bits)
+        assert varray.num_cells == page_bits // (levels - 1)
+        assert varray.headroom(varray.erased_page()) == (
+            varray.num_cells * (levels - 1)
+        )

@@ -1,0 +1,114 @@
+"""Tests for single virtual cells (paper Figs. 6, 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CellSaturatedError, ConfigurationError, VCellError
+from repro.vcell import VCell, VCellSpec
+
+
+class TestVCellSpec:
+    def test_four_level_cell_uses_three_bits(self) -> None:
+        spec = VCellSpec(levels=4)
+        assert spec.bits_per_cell == 3
+        assert spec.max_level == 3
+
+    def test_eight_level_cell_uses_seven_bits(self) -> None:
+        spec = VCellSpec(levels=8)
+        assert spec.bits_per_cell == 7
+
+    def test_patterns_of_level_matches_figure_6(self) -> None:
+        spec = VCellSpec(levels=4)
+        # Fig. 6: L0={000}, L1={001,010,100}, L2={011,101,110}, L3={111}.
+        assert spec.patterns_of_level(0) == (0b000,)
+        assert set(spec.patterns_of_level(1)) == {0b001, 0b010, 0b100}
+        assert set(spec.patterns_of_level(2)) == {0b011, 0b101, 0b110}
+        assert spec.patterns_of_level(3) == (0b111,)
+
+    def test_level_of_pattern_is_popcount(self) -> None:
+        spec = VCellSpec(levels=4)
+        for pattern in range(8):
+            assert spec.level_of_pattern(pattern) == bin(pattern).count("1")
+
+    def test_reachability_is_superset(self) -> None:
+        spec = VCellSpec(levels=4)
+        assert spec.reachable(0b001, 0b011)
+        assert spec.reachable(0b001, 0b101)
+        assert not spec.reachable(0b001, 0b010)
+        assert not spec.reachable(0b001, 0b110)
+
+    def test_invalid_levels(self) -> None:
+        with pytest.raises(ConfigurationError):
+            VCellSpec(levels=1)
+        spec = VCellSpec(levels=4)
+        with pytest.raises(VCellError):
+            spec.patterns_of_level(4)
+        with pytest.raises(VCellError):
+            spec.level_of_pattern(8)
+
+
+class TestVCellStateMachine:
+    def test_starts_erased(self) -> None:
+        cell = VCell()
+        assert cell.level == 0 and cell.pattern == 0 and not cell.saturated
+
+    def test_ideal_interface_every_increase_works(self) -> None:
+        # The whole point of v-cells: any i -> j with i < j is one program.
+        for start in range(4):
+            for target in range(start, 4):
+                cell = VCell()
+                cell.set_level(start)
+                cell.set_level(target)
+                assert cell.level == target
+
+    def test_increment_sets_lowest_unset_bits(self) -> None:
+        cell = VCell()
+        cell.increment()
+        assert cell.pattern == 0b001
+        cell.increment()
+        assert cell.pattern == 0b011
+
+    def test_program_specific_pattern_blocks_alternatives(self) -> None:
+        # Fig. 9's observation: choosing one L1 representation makes the
+        # other L1 representations unreachable.
+        cell = VCell()
+        cell.program_pattern(0b100)
+        assert cell.level == 1
+        with pytest.raises(VCellError):
+            cell.program_pattern(0b001)
+        cell.program_pattern(0b110)  # a superset is fine
+        assert cell.level == 2
+
+    def test_saturation(self) -> None:
+        cell = VCell()
+        cell.set_level(3)
+        assert cell.saturated
+        with pytest.raises(CellSaturatedError):
+            cell.increment()
+
+    def test_level_decrease_rejected(self) -> None:
+        cell = VCell()
+        cell.set_level(2)
+        with pytest.raises(VCellError):
+            cell.set_level(1)
+        with pytest.raises(VCellError):
+            cell.increment(-1)
+
+    def test_erase_resets(self) -> None:
+        cell = VCell()
+        cell.set_level(3)
+        cell.erase()
+        assert cell.level == 0 and cell.pattern == 0
+
+    def test_eight_level_cell_walk(self) -> None:
+        cell = VCell(VCellSpec(levels=8))
+        for target in range(8):
+            cell.set_level(target)
+            assert cell.level == target
+        assert cell.saturated
+
+    def test_pattern_out_of_range(self) -> None:
+        cell = VCell()
+        with pytest.raises(VCellError):
+            cell.program_pattern(0b1000)
