@@ -1,12 +1,22 @@
 # Convenience targets for the Methuselah Flash reproduction.
 
-.PHONY: install test bench experiments experiments-full examples clean
+.PHONY: install test ci bench experiments experiments-full examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# What .github/workflows/ci.yml runs: the tier-1 suite plus lint.
+# ruff is optional locally; CI always installs it.
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -47,6 +47,38 @@ class CellSaturatedError(FlashError):
     """A write required incrementing a cell already at its maximum level."""
 
 
+class ProgramFailedError(FlashError):
+    """A page program operation failed at the chip level.
+
+    Real NAND reports program failures through its status register; the FTL
+    reacts by re-issuing the write on a fresh page and, for permanent
+    failures (grown defects, stuck cells conflicting with the data), by
+    retiring the block early.
+
+    Attributes
+    ----------
+    block, page:
+        Physical address of the failed program, when known.
+    permanent:
+        True when the target page can never accept this program (stuck
+        cells, grown bad page/block); False for transient failures that a
+        retry elsewhere — or even on the same page — may survive.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        block: int | None = None,
+        page: int | None = None,
+        permanent: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.block = block
+        self.page = page
+        self.permanent = permanent
+
+
 class FTLError(ReproError):
     """Base class for flash-translation-layer errors."""
 
@@ -57,6 +89,23 @@ class OutOfSpaceError(FTLError):
 
 class LogicalAddressError(FTLError):
     """A logical page address is out of range or unmapped."""
+
+
+class UncorrectableReadError(FTLError):
+    """A logical page could not be recovered after the full read-recovery
+    ladder (re-reads plus ECC) was exhausted.
+
+    The FTL raises this to the host instead of silently returning corrupt
+    data; it also counts the event in ``FTLStats.data_loss_events``.
+    """
+
+
+class ReadOnlyModeError(FTLError):
+    """The device is in end-of-life read-only mode and rejects writes.
+
+    Worn-out SSDs enter read-only mode instead of bricking: the mapped data
+    stays readable even though no free blocks remain for new writes.
+    """
 
 
 class VCellError(ReproError):

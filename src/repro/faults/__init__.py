@@ -1,0 +1,24 @@
+"""Fault injection: realistic failure processes for the simulated chip.
+
+The paper sells *lifetime under wear*; this package supplies the wear-and-
+failure environment to evaluate it in.  A seeded
+:class:`~repro.faults.injector.FaultInjector` plugs into
+:class:`~repro.flash.chip.FlashChip` and injects program failures, stuck-at
+cells, read disturb and retention decay per a
+:class:`~repro.faults.profile.FaultProfile`, while a
+:class:`~repro.faults.profile.FaultSchedule` scripts deterministic "fail
+block B at cycle N" campaigns.  The FTL layers above degrade gracefully
+(retry, retire, read-retry ladder, scrub) instead of crashing — see
+``docs/architecture.md``.
+"""
+
+from repro.faults.profile import FaultProfile, FaultSchedule, ScheduledFault
+from repro.faults.injector import FaultCounters, FaultInjector
+
+__all__ = [
+    "FaultProfile",
+    "FaultSchedule",
+    "ScheduledFault",
+    "FaultInjector",
+    "FaultCounters",
+]

@@ -1,0 +1,165 @@
+"""Fault-model configuration: stochastic profiles and scripted schedules.
+
+A :class:`FaultProfile` describes the *statistical* failure processes a
+chip is subject to — program failures, stuck-at cells, read disturb and
+retention-style decay — each with an independent knob so experiments can
+turn one process on at a time.  A :class:`FaultSchedule` scripts *specific*
+events ("kill block 3 on its 5th erase") for deterministic campaigns and
+regression tests.  Both are consumed by
+:class:`~repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultProfile", "FaultSchedule", "ScheduledFault"]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be a probability in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-process fault rates for one chip.  All rates default to zero.
+
+    Parameters
+    ----------
+    transient_program_failure_rate:
+        Probability any single page program fails transiently (the data is
+        not committed; a retry may succeed).
+    permanent_program_failure_rate:
+        Probability a page program grows a permanent defect: the program
+        fails and the page refuses all future programs until the device
+        dies.  Models grown bad pages/blocks.
+    manufacture_stuck_fraction:
+        Fraction of bit positions stuck at a fixed value from time zero
+        (factory defects).  Stuck bits are detected by program-verify:
+        programs whose data conflicts with a stuck bit fail permanently.
+    wear_stuck_rate:
+        Per-bit probability of *becoming* stuck on each block erase once
+        the block's erase count reaches ``wear_stuck_onset`` (early
+        wear-out of individual cells).
+    wear_stuck_onset:
+        Erase count at which wear-onset sticking begins.
+    read_disturb_rate:
+        Per-bit flip probability applied to one randomly chosen *other*
+        page of a block each time any of its pages is read.  Disturb
+        accumulates until the block is erased or the page reprogrammed.
+    retention_rate:
+        Per-bit flip probability per elapsed chip operation since a page
+        was programmed (charge leakage over "time", with total chip
+        operations as the clock).  Decay accumulates until reprogram/erase.
+    """
+
+    transient_program_failure_rate: float = 0.0
+    permanent_program_failure_rate: float = 0.0
+    manufacture_stuck_fraction: float = 0.0
+    wear_stuck_rate: float = 0.0
+    wear_stuck_onset: int = 0
+    read_disturb_rate: float = 0.0
+    retention_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability(
+            "transient_program_failure_rate", self.transient_program_failure_rate
+        )
+        _check_probability(
+            "permanent_program_failure_rate", self.permanent_program_failure_rate
+        )
+        _check_probability(
+            "manufacture_stuck_fraction", self.manufacture_stuck_fraction
+        )
+        _check_probability("wear_stuck_rate", self.wear_stuck_rate)
+        _check_probability("read_disturb_rate", self.read_disturb_rate)
+        _check_probability("retention_rate", self.retention_rate)
+        if self.wear_stuck_onset < 0:
+            raise ConfigurationError("wear_stuck_onset must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault process has a nonzero rate."""
+        return any(
+            (
+                self.transient_program_failure_rate,
+                self.permanent_program_failure_rate,
+                self.manufacture_stuck_fraction,
+                self.wear_stuck_rate,
+                self.read_disturb_rate,
+                self.retention_rate,
+            )
+        )
+
+
+#: Event kinds a :class:`ScheduledFault` can script.
+_KINDS = ("kill_block", "kill_page", "stick_bits")
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One scripted fault event.
+
+    Exactly one trigger must be given: ``after_op`` fires once the chip's
+    global operation counter (programs + reads + erases) reaches the given
+    value; ``at_erase`` fires when the target block reaches the given erase
+    count.
+
+    Kinds
+    -----
+    ``kill_block``
+        Every future program to the block fails permanently.
+    ``kill_page``
+        Every future program to ``(block, page)`` fails permanently.
+    ``stick_bits``
+        Stick ``stuck_fraction`` of the bits of ``page`` (or of every page
+        of the block when ``page`` is None) at random values.
+    """
+
+    kind: str
+    block: int
+    page: int | None = None
+    after_op: int | None = None
+    at_erase: int | None = None
+    stuck_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown scheduled fault kind {self.kind!r}; "
+                f"expected one of {_KINDS}"
+            )
+        if self.block < 0:
+            raise ConfigurationError("block must be non-negative")
+        if self.kind == "kill_page" and self.page is None:
+            raise ConfigurationError("kill_page needs a page index")
+        if (self.after_op is None) == (self.at_erase is None):
+            raise ConfigurationError(
+                "give exactly one trigger: after_op or at_erase"
+            )
+        if not 0.0 < self.stuck_fraction <= 1.0:
+            raise ConfigurationError("stuck_fraction must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered campaign of scripted fault events."""
+
+    events: tuple[ScheduledFault, ...] = field(default_factory=tuple)
+
+    def __init__(self, events=()) -> None:
+        object.__setattr__(self, "events", tuple(events))
+        for event in self.events:
+            if not isinstance(event, ScheduledFault):
+                raise ConfigurationError(
+                    "FaultSchedule takes ScheduledFault events"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

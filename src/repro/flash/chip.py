@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import LogicalAddressError
+from repro.errors import LogicalAddressError, ProgramFailedError
 from repro.flash.block import Block
 from repro.flash.geometry import FlashGeometry
 from repro.flash.noise import WearNoiseModel
@@ -31,6 +31,11 @@ class FlashChip:
         (e.g. the FTL's read-modify-write path) pass ``noisy=False``.
     noise_seed:
         Seed for the noise stream (reads stay reproducible).
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  When set,
+        programs can fail (:class:`~repro.errors.ProgramFailedError`),
+        stuck cells are enforced by program-verify, and reads accumulate
+        disturb/retention damage per the injector's profile.
     """
 
     def __init__(
@@ -38,9 +43,13 @@ class FlashChip:
         geometry: FlashGeometry | None = None,
         noise_model: WearNoiseModel | None = None,
         noise_seed: int = 0,
+        fault_injector=None,
     ) -> None:
         self.geometry = geometry or FlashGeometry()
         self.noise_model = noise_model
+        self.faults = fault_injector
+        if self.faults is not None:
+            self.faults.bind(self.geometry)
         self._noise_rng = np.random.default_rng(noise_seed)
         self.blocks: list[Block] = [
             Block(
@@ -80,6 +89,10 @@ class FlashChip:
         self._check_page(block, page_index)
         self.stats.record_read()
         bits = block.read_page(page_index)
+        if self.faults is not None:
+            bits = self.faults.on_read(
+                block_index, page_index, bits, block.erase_count, noisy=noisy
+            )
         if self.noise_model is not None and noisy:
             bits = self.noise_model.corrupt(
                 bits, block.erase_count, self._noise_rng
@@ -89,9 +102,22 @@ class FlashChip:
     def program_page(
         self, block_index: int, page_index: int, new_bits: np.ndarray
     ) -> None:
-        """Program one physical page (program-without-erase permitted)."""
+        """Program one physical page (program-without-erase permitted).
+
+        With a fault injector attached, the program may raise
+        :class:`~repro.errors.ProgramFailedError` *before* any bits are
+        committed — the chip-status-register failure real FTLs handle.
+        """
         block = self._block(block_index)
         self._check_page(block, page_index)
+        if self.faults is not None:
+            try:
+                self.faults.on_program(
+                    block_index, page_index, new_bits, block.erase_count
+                )
+            except ProgramFailedError:
+                self.stats.record_program_failure()
+                raise
         before = int(block.pages[page_index].bits.sum())
         block.program_page(page_index, new_bits)
         after = int(block.pages[page_index].bits.sum())
@@ -99,8 +125,11 @@ class FlashChip:
 
     def erase_block(self, block_index: int) -> None:
         """Erase one block, consuming a program/erase cycle."""
-        self._block(block_index).erase()
+        block = self._block(block_index)
+        block.erase()
         self.stats.record_erase(block_index)
+        if self.faults is not None:
+            self.faults.on_erase(block_index, block.erase_count)
 
     def block_erase_counts(self) -> list[int]:
         """Per-block erase counts (wear profile of the chip)."""

@@ -45,6 +45,10 @@ class WearNoiseModel:
     def __post_init__(self) -> None:
         if not 0 <= self.floor_ber < 1:
             raise ConfigurationError("floor_ber must be a probability")
+        if self.growth < 0:
+            # A negative exponent would make the BER *shrink* with wear,
+            # silently inverting every lifetime result built on the model.
+            raise ConfigurationError("growth must be non-negative")
         if self.rated_cycles < 1:
             raise ConfigurationError("rated_cycles must be positive")
 

@@ -18,6 +18,7 @@ class FlashStats:
 
     page_reads: int = 0
     page_programs: int = 0
+    program_failures: int = 0
     block_erases: int = 0
     bits_programmed: int = 0
     erases_per_block: dict[int, int] = field(default_factory=dict)
@@ -28,6 +29,9 @@ class FlashStats:
     def record_program(self, bits_set: int) -> None:
         self.page_programs += 1
         self.bits_programmed += int(bits_set)
+
+    def record_program_failure(self) -> None:
+        self.program_failures += 1
 
     def record_erase(self, block_index: int) -> None:
         self.block_erases += 1
@@ -45,6 +49,7 @@ class FlashStats:
         return {
             "page_reads": self.page_reads,
             "page_programs": self.page_programs,
+            "program_failures": self.program_failures,
             "block_erases": self.block_erases,
             "bits_programmed": self.bits_programmed,
             "max_block_erases": self.max_block_erases,

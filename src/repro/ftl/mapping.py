@@ -82,6 +82,17 @@ class PageMapping:
             del self._forward[lpn]
         self._states[addr] = PhysicalPageState.INVALID
 
+    def discard(self, addr: PhysAddr) -> None:
+        """Mark a free page unusable-until-erase.
+
+        A failed program consumes its page without storing anything; the
+        page must become garbage (not stay free) so GC still reclaims the
+        block even though no data was ever mapped there.
+        """
+        if self._states[addr] is not PhysicalPageState.FREE:
+            raise FTLError(f"cannot discard {addr}: not free")
+        self._states[addr] = PhysicalPageState.INVALID
+
     def release_block(self, block: int) -> None:
         """Mark every page of an erased block free again."""
         for page in range(self.pages_per_block):

@@ -20,7 +20,9 @@ from repro.errors import (
     BlockWornOutError,
     CodingError,
     ConfigurationError,
+    DecodingError,
     PartialProgramLimitError,
+    ProgramFailedError,
     UnwritableError,
 )
 from repro.flash.chip import FlashChip
@@ -42,6 +44,8 @@ class RewritingFTL(BasicFTL):
         victim_policy: VictimPolicy | None = None,
         wear_leveling: WearLevelingPolicy | None = None,
         reserve_blocks: int = 1,
+        max_program_retries: int = 4,
+        max_read_retries: int = 4,
     ) -> None:
         state = scheme.fresh_state()
         if not isinstance(state, np.ndarray) or state.shape != (
@@ -59,6 +63,8 @@ class RewritingFTL(BasicFTL):
             victim_policy=victim_policy,
             wear_leveling=wear_leveling,
             reserve_blocks=reserve_blocks,
+            max_program_retries=max_program_retries,
+            max_read_retries=max_read_retries,
         )
 
     @property
@@ -72,6 +78,29 @@ class RewritingFTL(BasicFTL):
 
     def _load(self, raw: np.ndarray) -> np.ndarray:
         return self.scheme.read(raw)
+
+    def _load_checked(self, raw: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Decode with the scheme's error detection, when it has any.
+
+        ECC-integrated schemes report uncorrectable damage explicitly;
+        other schemes can at least convert a decoder blow-up into a clean
+        "corrupt" verdict for the read-recovery ladder.
+        """
+        code = getattr(self.scheme, "code", None)
+        if code is not None and hasattr(code, "decode_with_report"):
+            report = code.decode_with_report(raw)
+            return report.data, report.detected_uncorrectable == 0
+        try:
+            return self.scheme.read(raw), True
+        except DecodingError:
+            return np.zeros(self.dataword_bits, dtype=np.uint8), False
+
+    def _scrub_page_ok(self, raw: np.ndarray) -> bool:
+        """Scrub refreshes at the first *correctable* error, preventively."""
+        code = getattr(self.scheme, "code", None)
+        if code is not None and hasattr(code, "decode_with_report"):
+            return code.decode_with_report(raw).clean
+        return super()._scrub_page_ok(raw)
 
     def write(self, lpn: int, data: np.ndarray) -> None:
         """Write a logical page: in-place PWE first, relocation as fallback."""
@@ -95,6 +124,14 @@ class RewritingFTL(BasicFTL):
                 # new location is secured, so a full device never strands
                 # the previous data.
                 pass
+            except ProgramFailedError as exc:
+                # The chip refused the in-place program.  The page keeps its
+                # previous (still-decodable) contents, so treat this like an
+                # exhausted page: count it, retire the block on a permanent
+                # defect, and relocate.
+                self.stats.program_failures += 1
+                if exc.permanent:
+                    self._retire_block(addr[0])
             else:
                 self.stats.in_place_rewrites += 1
                 self.stats.host_writes += 1

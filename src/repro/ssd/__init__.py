@@ -18,7 +18,7 @@ from repro.ssd.workload import (
 from repro.ssd.device import SSD
 from repro.ssd.array import StripedDevice
 from repro.ssd.simulator import DeviceLifetimeResult, run_until_death
-from repro.ssd.report import format_device_report
+from repro.ssd.report import format_device_report, format_reliability_report
 from repro.ssd.trace import TraceWorkload, load_trace, record_trace, save_trace
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "DeviceLifetimeResult",
     "run_until_death",
     "format_device_report",
+    "format_reliability_report",
     "TraceWorkload",
     "load_trace",
     "record_trace",

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.factory import make_scheme
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    OutOfSpaceError,
+    ProgramFailedError,
+    ReadOnlyModeError,
+)
+from repro.faults import FaultInjector, FaultProfile, FaultSchedule
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.noise import WearNoiseModel
@@ -30,6 +36,16 @@ class SSD:
     ``noise_model`` attaches wear-dependent read noise to the chip: host
     reads then see raw bit errors, which only ECC-integrated schemes
     (``mfc-ecc``) survive — the Section V.B argument at device level.
+
+    ``fault_profile`` / ``fault_schedule`` attach a deterministic
+    :class:`~repro.faults.FaultInjector` (seeded by ``fault_seed``) to the
+    chip: programs can then fail outright, cells can stick at manufacture
+    or with wear, and reads accumulate disturb/retention damage.  The FTL
+    degrades gracefully (program retry, block retirement, read-retry
+    ladder, scrub); once the device cannot accept writes it latches into
+    **read-only mode**: further writes raise
+    :class:`~repro.errors.ReadOnlyModeError` while reads keep working, the
+    end-of-life behaviour real SSDs promise.
     """
 
     def __init__(
@@ -42,14 +58,29 @@ class SSD:
         reserve_blocks: int = 1,
         noise_model: WearNoiseModel | None = None,
         noise_seed: int = 0,
+        fault_profile: FaultProfile | None = None,
+        fault_schedule: FaultSchedule | None = None,
+        fault_seed: int = 0,
+        max_program_retries: int = 4,
+        max_read_retries: int = 4,
         **scheme_kwargs,
     ) -> None:
         if not 0 < utilization <= 1:
             raise ConfigurationError("utilization must lie in (0, 1]")
         self.geometry = geometry or FlashGeometry()
+        if fault_profile is not None or fault_schedule is not None:
+            self.faults: FaultInjector | None = FaultInjector(
+                profile=fault_profile,
+                schedule=fault_schedule,
+                seed=fault_seed,
+            )
+        else:
+            self.faults = None
         self.chip = FlashChip(self.geometry, noise_model=noise_model,
-                              noise_seed=noise_seed)
+                              noise_seed=noise_seed,
+                              fault_injector=self.faults)
         self.scheme_name = scheme.lower()
+        self._read_only = False
         usable_pages = (
             self.geometry.blocks - reserve_blocks
         ) * self.geometry.pages_per_block
@@ -62,6 +93,8 @@ class SSD:
                 victim_policy=victim_policy,
                 wear_leveling=wear_leveling,
                 reserve_blocks=reserve_blocks,
+                max_program_retries=max_program_retries,
+                max_read_retries=max_read_retries,
             )
         else:
             self.scheme = make_scheme(
@@ -74,6 +107,8 @@ class SSD:
                 victim_policy=victim_policy,
                 wear_leveling=wear_leveling,
                 reserve_blocks=reserve_blocks,
+                max_program_retries=max_program_retries,
+                max_read_retries=max_read_retries,
             )
 
     @property
@@ -89,11 +124,44 @@ class SSD:
     def host_visible_bits(self) -> int:
         return self.logical_pages * self.logical_page_bits
 
+    @property
+    def read_only(self) -> bool:
+        """True once the device has latched into end-of-life read-only mode."""
+        return self._read_only
+
+    def enter_read_only(self) -> None:
+        """Latch the device read-only (idempotent, never un-latched)."""
+        self._read_only = True
+
     def write(self, lpn: int, data: np.ndarray) -> None:
-        self.ftl.write(lpn, data)
+        if self._read_only:
+            raise ReadOnlyModeError(
+                "device is in end-of-life read-only mode; stored data "
+                "remains readable"
+            )
+        try:
+            self.ftl.write(lpn, data)
+        except (OutOfSpaceError, ProgramFailedError):
+            # The FTL exhausted its recovery options (no free pages left,
+            # or a program kept failing past the retry budget).  Latch
+            # read-only so stored data stays reachable, and let the caller
+            # see the original failure.
+            self.enter_read_only()
+            raise
 
     def read(self, lpn: int) -> np.ndarray:
         return self.ftl.read(lpn)
+
+    def scrub(self, max_relocations: int | None = None) -> int:
+        """Run one background-scrub pass (no-op once read-only).
+
+        Read-only means the device can no longer secure fresh pages, so
+        relocation-based repair would only raise; stored data is served
+        as-is from that point.
+        """
+        if self._read_only:
+            return 0
+        return self.ftl.scrub(max_relocations=max_relocations)
 
     def wear_spread(self) -> int:
         """Max minus min per-block erase count (wear-leveling quality)."""

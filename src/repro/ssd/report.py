@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.ssd.simulator import DeviceLifetimeResult
 
-__all__ = ["format_device_report"]
+__all__ = ["format_device_report", "format_reliability_report"]
 
 
 def format_device_report(results: list[DeviceLifetimeResult]) -> str:
@@ -26,5 +26,35 @@ def format_device_report(results: list[DeviceLifetimeResult]) -> str:
             f"{r.host_bits_written / 1e6:>12.2f}{r.block_erases:>8}"
             f"{r.writes_per_erase:>9.2f}{r.in_place_rewrites:>10}"
             f"{r.wear_spread:>9}{charge}"
+        )
+    return "\n".join(lines)
+
+
+def format_reliability_report(results: list[DeviceLifetimeResult]) -> str:
+    """Tabulate each device's graceful-degradation record.
+
+    Complements :func:`format_device_report` (capacity/lifetime view) with
+    the reliability view: program failures absorbed, blocks retired early,
+    read-recovery work, uncorrectable reads, scrub activity, when trouble
+    started (first-failure write), and the resulting UBER.
+    """
+    header = (
+        f"{'scheme':<16}{'prog fail':>10}{'retired':>8}{'retries':>8}"
+        f"{'uncorr':>7}{'lost':>5}{'scrubbed':>9}{'first fail':>11}"
+        f"{'UBER':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        first = (
+            f"{r.first_failure_write:>11}"
+            if r.first_failure_write is not None
+            else f"{'-':>11}"
+        )
+        lines.append(
+            f"{r.scheme_name:<16}{r.program_failures:>10}"
+            f"{r.retired_blocks:>8}{r.read_retries:>8}"
+            f"{r.uncorrectable_reads:>7}{r.data_loss_events:>5}"
+            f"{r.scrub_relocations:>9}{first}"
+            f"{r.uber:>10.2e}"
         )
     return "\n".join(lines)

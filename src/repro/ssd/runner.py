@@ -12,10 +12,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigurationError
+from repro.faults import FaultProfile
 from repro.flash import FlashGeometry
 from repro.ftl import DynamicWearLeveling, NoWearLeveling, StaticWearLeveling
 from repro.ssd.device import SSD
-from repro.ssd.report import format_device_report
+from repro.ssd.report import format_device_report, format_reliability_report
 from repro.ssd.simulator import run_until_death
 from repro.ssd.trace import TraceWorkload, load_trace
 from repro.ssd.workload import (
@@ -64,14 +66,61 @@ def main(argv: list[str] | None = None) -> int:
                         help="trellis size for MFC schemes")
     parser.add_argument("--max-writes", type=int, default=500_000)
     parser.add_argument("--seed", type=int, default=1)
+    fault_group = parser.add_argument_group(
+        "fault injection",
+        "attach a deterministic fault injector; any nonzero rate enables "
+        "it and adds a reliability report",
+    )
+    fault_group.add_argument("--fault-transient", type=float, default=0.0,
+                             help="transient program-failure probability")
+    fault_group.add_argument("--fault-permanent", type=float, default=0.0,
+                             help="permanent (grown bad page) program-"
+                             "failure probability")
+    fault_group.add_argument("--fault-stuck", type=float, default=0.0,
+                             help="manufacture-time stuck-cell fraction")
+    fault_group.add_argument("--fault-wear-stuck", type=float, default=0.0,
+                             help="per-erase stuck probability per bit once "
+                             "wear onset is reached")
+    fault_group.add_argument("--fault-wear-onset", type=int, default=None,
+                             help="erase count at which wear sticking starts")
+    fault_group.add_argument("--fault-read-disturb", type=float, default=0.0,
+                             help="per-read disturb flip probability per bit")
+    fault_group.add_argument("--fault-retention", type=float, default=0.0,
+                             help="per-op retention decay flip probability "
+                             "per bit")
+    fault_group.add_argument("--fault-seed", type=int, default=0)
+    fault_group.add_argument("--scrub-interval", type=int, default=None,
+                             help="host writes between background scrub "
+                             "passes")
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ConfigurationError as exc:
+        # Bad knob values (rates outside [0, 1], zero scrub interval, ...)
+        # are user errors, not crashes: report them argparse-style.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _run(args: argparse.Namespace) -> int:
     geometry = FlashGeometry(
         blocks=args.blocks,
         pages_per_block=args.pages_per_block,
         page_bits=args.page_bytes * 8,
         erase_limit=args.erase_limit,
     )
+    fault_profile = FaultProfile(
+        transient_program_failure_rate=args.fault_transient,
+        permanent_program_failure_rate=args.fault_permanent,
+        manufacture_stuck_fraction=args.fault_stuck,
+        wear_stuck_rate=args.fault_wear_stuck,
+        wear_stuck_onset=(
+            args.fault_wear_onset if args.fault_wear_onset is not None else 0
+        ),
+        read_disturb_rate=args.fault_read_disturb,
+        retention_rate=args.fault_retention,
+    )
+    faults_on = fault_profile.active
     trace = load_trace(args.trace) if args.trace else None
     results = []
     for policy_name in args.wear_leveling:
@@ -86,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
                 scheme=scheme,
                 utilization=args.utilization,
                 wear_leveling=WEAR_POLICIES[policy_name](),
+                fault_profile=fault_profile if faults_on else None,
+                fault_seed=args.fault_seed,
                 **kwargs,
             )
             if trace is not None:
@@ -93,7 +144,9 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 workload = WORKLOADS[args.workload](ssd.logical_pages,
                                                     seed=args.seed)
-            result = run_until_death(ssd, workload, max_writes=args.max_writes)
+            result = run_until_death(ssd, workload,
+                                     max_writes=args.max_writes,
+                                     scrub_interval=args.scrub_interval)
             if len(args.wear_leveling) > 1:
                 result = type(result)(
                     **{**result.__dict__,
@@ -101,6 +154,9 @@ def main(argv: list[str] | None = None) -> int:
                 )
             results.append(result)
     print(format_device_report(results))
+    if faults_on:
+        print()
+        print(format_reliability_report(results))
     return 0
 
 

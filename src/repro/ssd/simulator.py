@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import OutOfSpaceError
+from repro.errors import (
+    ConfigurationError,
+    OutOfSpaceError,
+    ProgramFailedError,
+    ReadOnlyModeError,
+    UncorrectableReadError,
+)
 from repro.ssd.device import SSD
 from repro.ssd.workload import Workload
 
@@ -18,6 +24,14 @@ class DeviceLifetimeResult:
     ``host_writes`` counts logical page writes accepted before death;
     ``host_bits_written`` normalizes by logical page size so coded and
     uncoded devices are comparable (a rough "terabytes written" figure).
+
+    The reliability fields summarize how the device degraded on the way:
+    chip-level ``program_failures`` the FTL absorbed, ``read_retries``
+    climbed in the recovery ladder, ``uncorrectable_reads`` surfaced to the
+    host, pages the background scrub refreshed, and ``data_loss_events``
+    (host reads that returned no usable data).  ``first_failure_write`` is
+    the host-write count at the first program failure (None if the run saw
+    none) — the onset of degradation, as opposed to death.
     """
 
     scheme_name: str
@@ -29,6 +43,14 @@ class DeviceLifetimeResult:
     wear_spread: int
     retired_blocks: int
     bits_programmed: int = 0
+    program_failures: int = 0
+    read_retries: int = 0
+    uncorrectable_reads: int = 0
+    scrub_relocations: int = 0
+    data_loss_events: int = 0
+    host_reads: int = 0
+    host_bits_read: int = 0
+    first_failure_write: int | None = None
 
     @property
     def writes_per_erase(self) -> float:
@@ -49,29 +71,68 @@ class DeviceLifetimeResult:
             return float("inf")
         return self.bits_programmed / self.host_bits_written
 
+    @property
+    def uber(self) -> float:
+        """Uncorrectable bit error rate: failed reads per host bit read."""
+        if self.host_bits_read == 0:
+            return 0.0
+        return self.uncorrectable_reads / self.host_bits_read
+
 
 def run_until_death(
     ssd: SSD,
     workload: Workload,
     max_writes: int = 1_000_000,
+    scrub_interval: int | None = None,
+    audit: bool | None = None,
 ) -> DeviceLifetimeResult:
-    """Drive ``workload`` into ``ssd`` until it raises OutOfSpaceError.
+    """Drive ``workload`` into ``ssd`` until it can no longer accept writes.
+
+    Death is any of the end-of-life signals — the FTL running out of free
+    pages (:class:`~repro.errors.OutOfSpaceError`), a program failure the
+    retry ladder could not ride out
+    (:class:`~repro.errors.ProgramFailedError`), or the device having
+    latched read-only.  The device is left in read-only mode either way, so
+    callers can keep reading surviving data from the corpse.
 
     Stops early after ``max_writes`` (returning the partial result) so
     callers can bound simulation time; a device that is still alive then
     simply reports the writes it absorbed.
+
+    ``scrub_interval`` runs one background scrub pass every that many host
+    writes.  ``audit`` reads back every logical page at end of run,
+    counting pages that fail ECC recovery as data-loss events; it defaults
+    to on exactly when the device has a fault injector attached.
     """
+    if scrub_interval is not None and scrub_interval < 1:
+        raise ConfigurationError("scrub_interval must be a positive write count")
     writes = 0
     bits = ssd.logical_page_bits
+    first_failure: int | None = None
+    stats = ssd.ftl.stats
     while writes < max_writes:
         lpn = workload.next_lpn()
         data = workload.next_data(bits)
         try:
             ssd.write(lpn, data)
-        except OutOfSpaceError:
+        except (OutOfSpaceError, ProgramFailedError, ReadOnlyModeError):
+            ssd.enter_read_only()
             break
         writes += 1
-    stats = ssd.ftl.stats
+        if first_failure is None and stats.program_failures > 0:
+            first_failure = writes
+        if scrub_interval is not None and writes % scrub_interval == 0:
+            ssd.scrub()
+    if first_failure is None and stats.program_failures > 0:
+        first_failure = writes
+    if audit is None:
+        audit = ssd.faults is not None
+    if audit:
+        for lpn in range(ssd.logical_pages):
+            try:
+                ssd.read(lpn)
+            except UncorrectableReadError:
+                pass  # already counted in uncorrectable_reads/data_loss_events
     return DeviceLifetimeResult(
         scheme_name=ssd.scheme_name,
         host_writes=writes,
@@ -82,4 +143,12 @@ def run_until_death(
         wear_spread=ssd.wear_spread(),
         retired_blocks=stats.retired_blocks,
         bits_programmed=ssd.chip.stats.bits_programmed,
+        program_failures=stats.program_failures,
+        read_retries=stats.read_retries,
+        uncorrectable_reads=stats.uncorrectable_reads,
+        scrub_relocations=stats.scrub_relocations,
+        data_loss_events=stats.data_loss_events,
+        host_reads=stats.host_reads,
+        host_bits_read=stats.host_reads * bits,
+        first_failure_write=first_failure,
     )

@@ -1,0 +1,257 @@
+"""Tests for the chip-level fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProgramFailedError
+from repro.faults import (
+    FaultInjector,
+    FaultProfile,
+    FaultSchedule,
+    ScheduledFault,
+)
+from repro.flash import FlashChip, FlashGeometry
+from repro.flash.cell import SLC
+
+PAGE_BITS = 32
+
+
+def make_chip(
+    profile: FaultProfile | None = None,
+    schedule: FaultSchedule | None = None,
+    seed: int = 0,
+) -> FlashChip:
+    geometry = FlashGeometry(
+        blocks=2, pages_per_block=4, page_bits=PAGE_BITS, cell=SLC,
+        erase_limit=100,
+    )
+    injector = FaultInjector(profile=profile, schedule=schedule, seed=seed)
+    return FlashChip(geometry, fault_injector=injector)
+
+
+def ones(n: int = PAGE_BITS) -> np.ndarray:
+    return np.ones(n, dtype=np.uint8)
+
+
+class TestBinding:
+    def test_chip_binds_injector(self) -> None:
+        chip = make_chip()
+        assert chip.faults is not None
+
+    def test_rebinding_to_second_chip_raises(self) -> None:
+        chip = make_chip()
+        with pytest.raises(ConfigurationError, match="one injector per chip"):
+            FlashChip(
+                FlashGeometry(blocks=1, pages_per_block=4,
+                              page_bits=PAGE_BITS, cell=SLC),
+                fault_injector=chip.faults,
+            )
+
+    def test_unbound_hooks_raise(self) -> None:
+        injector = FaultInjector()
+        with pytest.raises(ConfigurationError, match="not attached"):
+            injector.on_erase(0, 1)
+
+
+class TestProgramFailures:
+    def test_transient_failure_commits_nothing(self) -> None:
+        chip = make_chip(FaultProfile(transient_program_failure_rate=1.0))
+        with pytest.raises(ProgramFailedError) as excinfo:
+            chip.program_page(0, 0, ones())
+        assert not excinfo.value.permanent
+        assert chip.stats.program_failures == 1
+        assert chip.stats.page_programs == 0
+        # The page still reads back erased: the failure preceded any commit.
+        assert chip.read_page(0, 0).sum() == 0
+
+    def test_permanent_failure_grows_a_bad_page(self) -> None:
+        chip = make_chip(FaultProfile(permanent_program_failure_rate=1.0))
+        with pytest.raises(ProgramFailedError) as excinfo:
+            chip.program_page(0, 1, ones())
+        assert excinfo.value.permanent
+        assert excinfo.value.block == 0 and excinfo.value.page == 1
+        assert chip.faults.is_bad(0, 1)
+        assert not chip.faults.is_bad(0, 0)
+
+    def test_grown_bad_page_refuses_forever(self) -> None:
+        schedule = FaultSchedule(
+            [ScheduledFault(kind="kill_page", block=0, page=2, after_op=0)]
+        )
+        chip = make_chip(schedule=schedule)
+        for _ in range(3):
+            with pytest.raises(ProgramFailedError, match="grown-bad"):
+                chip.program_page(0, 2, ones())
+        # Sibling pages still program fine.
+        chip.program_page(0, 3, ones())
+
+    def test_failure_counts_in_injector_counters(self) -> None:
+        chip = make_chip(FaultProfile(transient_program_failure_rate=1.0))
+        with pytest.raises(ProgramFailedError):
+            chip.program_page(0, 0, ones())
+        assert chip.faults.counters.transient_program_failures == 1
+
+
+class TestStuckCells:
+    def test_manufacture_stuck_bits_drawn_at_bind(self) -> None:
+        chip = make_chip(FaultProfile(manufacture_stuck_fraction=0.25))
+        total = 2 * 4 * PAGE_BITS
+        stuck = chip.faults.stuck_bits()
+        assert 0 < stuck < total
+
+    def test_stuck_overlay_shows_on_reads(self) -> None:
+        chip = make_chip(FaultProfile(manufacture_stuck_fraction=1.0))
+        # Fully stuck page: reads reflect the stuck values even though the
+        # underlying page was never programmed.
+        observed = chip.read_page(0, 0)
+        key = (0, 0)
+        assert np.array_equal(observed, chip.faults._stuck_vals[key])
+
+    def test_program_verify_rejects_conflicting_data(self) -> None:
+        chip = make_chip(FaultProfile(manufacture_stuck_fraction=1.0))
+        stuck_vals = chip.faults._stuck_vals[(0, 0)]
+        conflicting = (1 - stuck_vals).astype(np.uint8)
+        with pytest.raises(ProgramFailedError, match="program-verify"):
+            chip.program_page(0, 0, conflicting)
+        assert chip.faults.counters.stuck_program_failures == 1
+
+    def test_program_verify_accepts_agreeing_data(self) -> None:
+        chip = make_chip(FaultProfile(manufacture_stuck_fraction=1.0))
+        stuck_vals = chip.faults._stuck_vals[(0, 0)]
+        chip.program_page(0, 0, stuck_vals)
+        assert np.array_equal(chip.read_page(0, 0), stuck_vals)
+
+    def test_wear_onset_sticking(self) -> None:
+        chip = make_chip(
+            FaultProfile(wear_stuck_rate=1.0, wear_stuck_onset=2)
+        )
+        chip.erase_block(0)  # erase_count 1: before onset
+        assert chip.faults.stuck_bits(0) == 0
+        chip.erase_block(0)  # erase_count 2: onset reached
+        assert chip.faults.stuck_bits(0) == 4 * PAGE_BITS
+        assert chip.faults.stuck_bits(1) == 0
+
+    def test_first_stick_wins(self) -> None:
+        chip = make_chip(
+            FaultProfile(wear_stuck_rate=1.0, wear_stuck_onset=1)
+        )
+        chip.erase_block(0)
+        first = chip.faults._stuck_vals[(0, 0)].copy()
+        chip.erase_block(0)  # draws again; must not overwrite stuck values
+        assert np.array_equal(chip.faults._stuck_vals[(0, 0)], first)
+
+
+class TestScheduledEvents:
+    def test_kill_block_after_op(self) -> None:
+        schedule = FaultSchedule(
+            [ScheduledFault(kind="kill_block", block=1, after_op=3)]
+        )
+        chip = make_chip(schedule=schedule)
+        chip.program_page(1, 0, ones())  # op 1: still healthy
+        chip.read_page(1, 0)  # op 2
+        chip.read_page(1, 0)  # op 3: trigger reached
+        with pytest.raises(ProgramFailedError):
+            chip.program_page(1, 1, ones())
+        assert chip.faults.counters.scheduled_faults_fired == 1
+
+    def test_kill_block_at_erase(self) -> None:
+        schedule = FaultSchedule(
+            [ScheduledFault(kind="kill_block", block=0, at_erase=2)]
+        )
+        chip = make_chip(schedule=schedule)
+        chip.erase_block(0)
+        chip.program_page(0, 0, ones())  # still fine after one erase
+        chip.erase_block(0)  # second erase fires the event
+        with pytest.raises(ProgramFailedError):
+            chip.program_page(0, 0, ones())
+
+    def test_stick_bits_event(self) -> None:
+        schedule = FaultSchedule(
+            [ScheduledFault(kind="stick_bits", block=0, page=1,
+                            after_op=0, stuck_fraction=1.0)]
+        )
+        chip = make_chip(schedule=schedule)
+        chip.read_page(0, 0)  # any op fires the event
+        assert chip.faults.stuck_bits(0) == PAGE_BITS
+
+    def test_events_fire_once(self) -> None:
+        schedule = FaultSchedule(
+            [ScheduledFault(kind="stick_bits", block=0, page=0,
+                            after_op=0, stuck_fraction=1.0)]
+        )
+        chip = make_chip(schedule=schedule)
+        chip.read_page(0, 0)
+        chip.read_page(0, 0)
+        assert chip.faults.counters.scheduled_faults_fired == 1
+
+
+class TestDisturbAndRetention:
+    def test_read_disturb_degrades_noisy_neighbours_only(self) -> None:
+        chip = make_chip(FaultProfile(read_disturb_rate=0.2), seed=5)
+        chip.program_page(0, 0, ones())
+        committed = chip.read_page(0, 0, noisy=False).copy()
+        for _ in range(200):
+            chip.read_page(0, 1)  # hammer a sibling page
+        # Precise sensing still recovers the committed bits...
+        assert np.array_equal(chip.read_page(0, 0, noisy=False), committed)
+        # ...while the host-path read of the disturbed page shows flips.
+        assert not np.array_equal(chip.read_page(0, 0), committed)
+        assert chip.faults.counters.disturb_events > 0
+
+    def test_erase_clears_disturb(self) -> None:
+        chip = make_chip(FaultProfile(read_disturb_rate=0.2), seed=5)
+        for _ in range(200):
+            chip.read_page(0, 1)
+        chip.erase_block(0)
+        assert chip.read_page(0, 0).sum() == 0  # back to erased, no flips
+
+    def test_retention_decay_accumulates_with_ops(self) -> None:
+        chip = make_chip(FaultProfile(retention_rate=0.01), seed=7)
+        chip.program_page(0, 0, ones())
+        for _ in range(100):
+            chip.read_page(1, 0)  # unrelated ops advance the clock
+        degraded = chip.read_page(0, 0)
+        assert degraded.sum() < PAGE_BITS  # some ones leaked away
+        assert chip.faults.counters.retention_events > 0
+
+    def test_reprogram_clears_decay(self) -> None:
+        chip = make_chip(FaultProfile(retention_rate=0.01), seed=7)
+        chip.program_page(0, 0, np.zeros(PAGE_BITS, dtype=np.uint8))
+        for _ in range(100):
+            chip.read_page(1, 0)
+        chip.read_page(0, 0)  # forces decay accumulation
+        assert (0, 0) in chip.faults._flip_mask
+        chip.program_page(0, 0, ones())  # fresh charge clears the damage
+        assert (0, 0) not in chip.faults._flip_mask
+        # The decay clock restarts at the program: only 1 op elapses before
+        # this read, so the stale 100-op damage must be gone.
+        assert np.array_equal(chip.read_page(0, 0, noisy=False), ones())
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self) -> None:
+        profile = FaultProfile(
+            manufacture_stuck_fraction=0.1,
+            read_disturb_rate=0.05,
+            retention_rate=0.001,
+        )
+
+        def run(seed: int) -> list[np.ndarray]:
+            chip = make_chip(profile, seed=seed)
+            out = []
+            for _ in range(50):
+                chip.read_page(0, 1)
+                out.append(chip.read_page(0, 0).copy())
+            return out
+
+        first, second = run(3), run(3)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_different_seed_different_faults(self) -> None:
+        profile = FaultProfile(manufacture_stuck_fraction=0.5)
+        a = make_chip(profile, seed=1).faults
+        b = make_chip(profile, seed=2).faults
+        masks_a = {k: v.tolist() for k, v in a._stuck_mask.items()}
+        masks_b = {k: v.tolist() for k, v in b._stuck_mask.items()}
+        assert masks_a != masks_b

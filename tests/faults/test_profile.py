@@ -1,0 +1,106 @@
+"""Tests for FaultProfile / FaultSchedule configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultProfile, FaultSchedule, ScheduledFault
+
+
+class TestFaultProfile:
+    def test_defaults_are_inactive(self) -> None:
+        profile = FaultProfile()
+        assert not profile.active
+
+    def test_any_nonzero_rate_is_active(self) -> None:
+        assert FaultProfile(transient_program_failure_rate=0.1).active
+        assert FaultProfile(permanent_program_failure_rate=0.1).active
+        assert FaultProfile(manufacture_stuck_fraction=0.1).active
+        assert FaultProfile(wear_stuck_rate=0.1).active
+        assert FaultProfile(read_disturb_rate=0.1).active
+        assert FaultProfile(retention_rate=0.1).active
+
+    def test_onset_alone_is_not_active(self) -> None:
+        # An onset without a wear_stuck_rate injects nothing.
+        assert not FaultProfile(wear_stuck_onset=5).active
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "transient_program_failure_rate",
+            "permanent_program_failure_rate",
+            "manufacture_stuck_fraction",
+            "wear_stuck_rate",
+            "read_disturb_rate",
+            "retention_rate",
+        ],
+    )
+    def test_rates_must_be_probabilities(self, field: str) -> None:
+        with pytest.raises(ConfigurationError, match=field):
+            FaultProfile(**{field: 1.5})
+        with pytest.raises(ConfigurationError, match=field):
+            FaultProfile(**{field: -0.1})
+
+    def test_onset_must_be_non_negative(self) -> None:
+        with pytest.raises(ConfigurationError, match="wear_stuck_onset"):
+            FaultProfile(wear_stuck_onset=-1)
+
+    def test_frozen(self) -> None:
+        profile = FaultProfile()
+        with pytest.raises(AttributeError):
+            profile.retention_rate = 0.5  # type: ignore[misc]
+
+
+class TestScheduledFault:
+    def test_valid_kinds(self) -> None:
+        ScheduledFault(kind="kill_block", block=0, after_op=10)
+        ScheduledFault(kind="kill_page", block=0, page=2, at_erase=3)
+        ScheduledFault(kind="stick_bits", block=1, after_op=1,
+                       stuck_fraction=0.25)
+
+    def test_rejects_unknown_kind(self) -> None:
+        with pytest.raises(ConfigurationError, match="kind"):
+            ScheduledFault(kind="explode", block=0, after_op=1)
+
+    def test_requires_exactly_one_trigger(self) -> None:
+        with pytest.raises(ConfigurationError, match="trigger"):
+            ScheduledFault(kind="kill_block", block=0)
+        with pytest.raises(ConfigurationError, match="trigger"):
+            ScheduledFault(kind="kill_block", block=0, after_op=1, at_erase=1)
+
+    def test_kill_page_needs_a_page(self) -> None:
+        with pytest.raises(ConfigurationError, match="page"):
+            ScheduledFault(kind="kill_page", block=0, after_op=1)
+
+    def test_rejects_negative_block(self) -> None:
+        with pytest.raises(ConfigurationError, match="block"):
+            ScheduledFault(kind="kill_block", block=-1, after_op=1)
+
+    def test_stuck_fraction_bounds(self) -> None:
+        with pytest.raises(ConfigurationError, match="stuck_fraction"):
+            ScheduledFault(kind="stick_bits", block=0, after_op=1,
+                           stuck_fraction=0.0)
+        with pytest.raises(ConfigurationError, match="stuck_fraction"):
+            ScheduledFault(kind="stick_bits", block=0, after_op=1,
+                           stuck_fraction=1.5)
+
+
+class TestFaultSchedule:
+    def test_empty_by_default(self) -> None:
+        schedule = FaultSchedule()
+        assert len(schedule) == 0
+        assert list(schedule) == []
+
+    def test_holds_events_in_order(self) -> None:
+        events = [
+            ScheduledFault(kind="kill_block", block=0, after_op=5),
+            ScheduledFault(kind="kill_page", block=1, page=0, at_erase=2),
+        ]
+        schedule = FaultSchedule(events)
+        assert len(schedule) == 2
+        assert list(schedule) == events
+
+    def test_rejects_non_events(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(["kill_block"])  # type: ignore[list-item]

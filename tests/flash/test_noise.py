@@ -34,6 +34,16 @@ class TestBerCurve:
         with pytest.raises(ConfigurationError):
             WearNoiseModel(rated_cycles=0)
 
+    def test_rejects_negative_growth(self) -> None:
+        # A negative exponent would make BER shrink with wear, silently
+        # inverting every lifetime comparison built on the model.
+        with pytest.raises(ConfigurationError, match="growth"):
+            WearNoiseModel(growth=-1.0)
+
+    def test_zero_growth_is_flat_and_allowed(self) -> None:
+        model = WearNoiseModel(floor_ber=1e-4, growth=0.0)
+        assert model.ber(0) == model.ber(10_000) == pytest.approx(1e-4)
+
 
 class TestCorruption:
     def test_no_floor_no_flips(self) -> None:

@@ -12,6 +12,7 @@ class TestFlashStats:
         assert summary == {
             "page_reads": 0,
             "page_programs": 0,
+            "program_failures": 0,
             "block_erases": 0,
             "bits_programmed": 0,
             "max_block_erases": 0,

@@ -38,6 +38,34 @@ class TestLoadTrace:
         with pytest.raises(ConfigurationError, match="no writes"):
             load_trace(io.StringIO("# only comments\n"))
 
+    def test_rejects_truly_empty_source(self) -> None:
+        with pytest.raises(ConfigurationError, match="no writes"):
+            load_trace(io.StringIO(""))
+
+    def test_rejects_whitespace_only(self) -> None:
+        with pytest.raises(ConfigurationError, match="no writes"):
+            load_trace(io.StringIO("   \n\t\n  \n"))
+
+    def test_malformed_line_reports_its_number(self) -> None:
+        with pytest.raises(ConfigurationError, match="line 3"):
+            load_trace(io.StringIO("1\n2\n3.5\n4\n"))
+
+    def test_negative_reports_line_number(self) -> None:
+        with pytest.raises(ConfigurationError, match="line 2"):
+            load_trace(io.StringIO("7\n-3\n"))
+
+    def test_empty_file_roundtrip_fails_cleanly(self, tmp_path) -> None:
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="no writes"):
+            load_trace(path)
+
+    def test_recorded_trace_roundtrip(self, tmp_path) -> None:
+        recorded = record_trace(UniformWorkload(16, seed=7), 25)
+        path = tmp_path / "recorded.trace"
+        save_trace(recorded, path)
+        assert load_trace(path) == recorded
+
 
 class TestRecordTrace:
     def test_captures_from_generator(self) -> None:
