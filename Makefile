@@ -1,6 +1,6 @@
 # Convenience targets for the Methuselah Flash reproduction.
 
-.PHONY: install test ci bench experiments experiments-full examples clean
+.PHONY: install test ci bench bench-smoke bench-full experiments experiments-full examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -20,6 +20,11 @@ ci:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast coding-path throughput check (batched vs scalar engine); writes
+# BENCH_coding.json at the repo root.  CI runs this and uploads the JSON.
+bench-smoke:
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py -q
 
 # Paper-fidelity benchmark run (4 KB pages, several minutes).
 bench-full:

@@ -31,7 +31,7 @@ def warm_page(code):
     return page
 
 
-def test_bench_viterbi_encode(benchmark, code, warm_page) -> None:
+def test_bench_viterbi_encode(benchmark, perf_recorder, code, warm_page) -> None:
     rng = np.random.default_rng(1)
     datawords = [
         rng.integers(0, 2, code.dataword_bits, dtype=np.uint8)
@@ -46,8 +46,24 @@ def test_bench_viterbi_encode(benchmark, code, warm_page) -> None:
 
     result = benchmark(encode_once)
     assert result.shape == (code.page_bits,)
+    mean = benchmark.stats.stats.mean
+    perf_recorder.record(
+        "viterbi-encode-4KB",
+        page_bits=code.page_bits,
+        mean_seconds=mean,
+        writes_per_sec=1 / mean,
+        cells_per_sec=code.varray.num_cells / mean,
+    )
 
 
-def test_bench_syndrome_decode(benchmark, code, warm_page) -> None:
+def test_bench_syndrome_decode(benchmark, perf_recorder, code, warm_page) -> None:
     result = benchmark(lambda: code.decode(warm_page))
     assert result.shape == (code.dataword_bits,)
+    mean = benchmark.stats.stats.mean
+    perf_recorder.record(
+        "syndrome-decode-4KB",
+        page_bits=code.page_bits,
+        mean_seconds=mean,
+        reads_per_sec=1 / mean,
+        cells_per_sec=code.varray.num_cells / mean,
+    )

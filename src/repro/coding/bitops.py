@@ -9,7 +9,11 @@ __all__ = [
     "bytes_from_bits",
     "pack_values",
     "unpack_values",
+    "pack_values_axis",
+    "unpack_values_axis",
     "gf2_convolve",
+    "gf2_convolve_axis",
+    "gf2_divide_causal",
     "random_bits",
 ]
 
@@ -43,6 +47,28 @@ def unpack_values(values: np.ndarray, width: int) -> np.ndarray:
     return ((values[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
 
 
+def pack_values_axis(bits: np.ndarray, width: int) -> np.ndarray:
+    """Batch-aware :func:`pack_values`: packs along the last axis.
+
+    ``bits`` has shape ``(..., n * width)``; the result is ``(..., n)``.
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    matrix = bits.reshape(*bits.shape[:-1], -1, width)
+    weights = 1 << np.arange(width, dtype=np.int64)
+    return matrix @ weights
+
+
+def unpack_values_axis(values: np.ndarray, width: int) -> np.ndarray:
+    """Batch-aware :func:`unpack_values`: expands along the last axis.
+
+    ``values`` has shape ``(..., n)``; the result is ``(..., n * width)``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    shifts = np.arange(width, dtype=np.int64)
+    bits = (values[..., None] >> shifts) & 1
+    return bits.astype(np.uint8).reshape(*values.shape[:-1], -1)
+
+
 def gf2_convolve(sequence: np.ndarray, taps: np.ndarray, length: int) -> np.ndarray:
     """GF(2) polynomial product ``sequence * taps`` truncated to ``length`` terms.
 
@@ -56,6 +82,44 @@ def gf2_convolve(sequence: np.ndarray, taps: np.ndarray, length: int) -> np.ndar
     if len(result) < length:
         result = np.pad(result, (0, length - len(result)))
     return result
+
+
+def gf2_convolve_axis(sequences: np.ndarray, taps: np.ndarray, length: int) -> np.ndarray:
+    """Batch-aware :func:`gf2_convolve` along the last axis.
+
+    ``sequences`` is ``(..., n)``; the result is ``(..., length)``.  GF(2)
+    convolution is a XOR of tap-shifted copies, so the few nonzero taps turn
+    into slice XORs that vectorize over any leading batch axes.
+    """
+    seq = np.asarray(sequences, dtype=np.uint8)
+    out = np.zeros(seq.shape[:-1] + (length,), dtype=np.uint8)
+    n = seq.shape[-1]
+    for power in np.flatnonzero(np.asarray(taps)):
+        power = int(power)
+        if power >= length:
+            continue
+        span = min(length - power, n)
+        out[..., power : power + span] ^= seq[..., :span]
+    return out
+
+
+def gf2_divide_causal(numerators: np.ndarray, feedback_taps: np.ndarray) -> np.ndarray:
+    """Causal GF(2) division by ``g1(D)`` along the last axis.
+
+    ``feedback_taps`` holds the nonzero powers (>= 1) of ``g1``; the constant
+    term must be 1.  Solves ``t`` in ``g1 * t = numerator`` term by term:
+    ``t[n] = numerator[n] XOR sum(t[n - i] for tap powers i >= 1)``, with
+    every step vectorized over the leading batch axes.
+    """
+    num = np.asarray(numerators, dtype=np.uint8)
+    out = num.copy()
+    steps = num.shape[-1]
+    taps = [int(tap) for tap in feedback_taps]
+    for n in range(steps):
+        for tap in taps:
+            if tap <= n:
+                out[..., n] ^= out[..., n - tap]
+    return out
 
 
 def random_bits(rng: np.random.Generator, count: int) -> np.ndarray:

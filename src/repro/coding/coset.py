@@ -14,14 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.coding.bitops import pack_values, unpack_values
+from repro.coding.bitops import pack_values_axis, unpack_values_axis
 from repro.coding.convolutional import ConvolutionalCode
 from repro.coding.cost import CellCodebook, make_codebook
 from repro.coding.page_code import PageCode
 from repro.coding.registry import get_code
 from repro.coding.syndrome import SyndromeFormer
 from repro.coding.viterbi import CosetViterbi
-from repro.errors import CodingError, ConfigurationError
+from repro.errors import CodingError, ConfigurationError, UnwritableError
 from repro.vcell import VCellArray, VCellSpec
 
 __all__ = ["ConvolutionalCosetCode"]
@@ -95,6 +95,7 @@ class ConvolutionalCosetCode(PageCode):
         self.former = SyndromeFormer(code)
         self.viterbi = CosetViterbi(code.build_trellis(), self.codebook)
         self._last_cost = float("nan")
+        self._last_costs = np.full(0, np.nan)
 
     @property
     def coset_rate(self) -> float:
@@ -120,37 +121,94 @@ class ConvolutionalCosetCode(PageCode):
         """Metric cost of the most recent successful encode."""
         return self._last_cost
 
+    @property
+    def last_write_costs(self) -> np.ndarray:
+        """Per-lane Viterbi costs of the most recent batched encode.
+
+        Unwritable lanes hold ``inf``.
+        """
+        return self._last_costs.copy()
+
     def _step_levels(self, page: np.ndarray) -> np.ndarray:
         levels = self.varray.levels(page)
         return levels[: self.used_cells].reshape(self.steps, self.cells_per_step)
 
     def encode(self, dataword: np.ndarray, page: np.ndarray) -> np.ndarray:
+        """Encode one page — a ``B = 1`` wrapper over :meth:`encode_batch`."""
         data = np.asarray(dataword, dtype=np.uint8)
         if data.shape != (self.dataword_bits,):
             raise CodingError(
                 f"dataword must be {self.dataword_bits} bits, got {data.shape}"
             )
+        page = np.asarray(page, dtype=np.uint8)
+        new_pages, writable = self.encode_batch(data[None, :], page[None, :])
+        if not writable[0]:
+            raise UnwritableError(
+                "no codeword in the coset is writable onto the current page"
+            )
+        self._last_cost = float(self._last_costs[0])
+        return new_pages[0]
+
+    def encode_batch(
+        self, datawords: np.ndarray, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode ``B`` independent pages in lockstep.
+
+        ``datawords`` is ``(B, dataword_bits)``, ``pages`` is
+        ``(B, page_bits)``.  Returns ``(new_pages, writable)``; lanes whose
+        coset has no writable member keep their previous bits and come back
+        False in the mask.
+        """
+        data = np.asarray(datawords, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.dataword_bits:
+            raise CodingError(
+                f"datawords must be (lanes, {self.dataword_bits}) bits, "
+                f"got {data.shape}"
+            )
+        pages = np.asarray(pages, dtype=np.uint8)
+        lanes = len(data)
+        if len(pages) != lanes:
+            raise CodingError(
+                f"{lanes} datawords but {len(pages)} pages"
+            )
         m = self.code.num_outputs
-        syndrome = np.zeros((self.steps, m - 1), dtype=np.uint8)
-        syndrome[self.guard_steps :] = data.reshape(
-            self.steps - self.guard_steps, m - 1
+        syndrome = np.zeros((lanes, self.steps, m - 1), dtype=np.uint8)
+        syndrome[:, self.guard_steps :] = data.reshape(
+            lanes, self.steps - self.guard_steps, m - 1
         )
-        representative = self.former.representative(syndrome)
-        rep_values = pack_values(representative.reshape(-1), m)
-        step_levels = self._step_levels(page)
-        result = self.viterbi.search(rep_values, step_levels)
-        self._last_cost = result.total_cost
-        levels = self.varray.levels(page).copy()
-        levels[: self.used_cells] = result.target_levels.reshape(-1)
-        return self.varray.program_levels(page, levels)
+        representative = self.former.representative_batch(syndrome)
+        rep_values = pack_values_axis(representative.reshape(lanes, -1), m)
+        all_levels = self.varray.levels_batch(pages)
+        step_levels = all_levels[:, : self.used_cells].reshape(
+            lanes, self.steps, self.cells_per_step
+        )
+        result = self.viterbi.search_batch(rep_values, step_levels)
+        self._last_costs = result.total_costs
+        # Unwritable lanes are reprogrammed to their current levels (a
+        # no-op) so their bits pass through unchanged.
+        targets = all_levels.copy()
+        targets[:, : self.used_cells] = np.where(
+            result.writable[:, None],
+            result.target_levels.reshape(lanes, -1),
+            all_levels[:, : self.used_cells],
+        )
+        new_pages = self.varray.program_levels_batch(pages, targets)
+        return new_pages, result.writable
 
     def decode(self, page: np.ndarray) -> np.ndarray:
-        levels = self.varray.levels(page)[: self.used_cells]
+        """Decode one page — a ``B = 1`` wrapper over :meth:`decode_batch`."""
+        return self.decode_batch(np.asarray(page, dtype=np.uint8)[None, :])[0]
+
+    def decode_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Decode ``B`` pages to their ``(B, dataword_bits)`` datawords."""
+        pages = np.asarray(pages, dtype=np.uint8)
+        lanes = len(pages)
+        levels = self.varray.levels_batch(pages)[:, : self.used_cells]
         symbols = self.codebook.read_table[levels]
-        codeword_bits = unpack_values(symbols, self.codebook.bits_per_cell)
-        streams = codeword_bits.reshape(self.steps, self.code.num_outputs)
-        syndrome = self.former.syndrome(streams)
-        return syndrome[self.guard_steps :].reshape(-1)
+        codeword_bits = unpack_values_axis(symbols, self.codebook.bits_per_cell)
+        streams = codeword_bits.reshape(lanes, self.steps, self.code.num_outputs)
+        syndrome = self.former.syndrome_batch(streams)
+        return syndrome[:, self.guard_steps :].reshape(lanes, -1)
 
     def __str__(self) -> str:
         return (

@@ -109,6 +109,30 @@ class CellCodebook:
     def symbols(self) -> int:
         return 1 << self.bits_per_cell
 
+    def chunk_costs(
+        self, levels: np.ndarray, symbol_of_value: np.ndarray
+    ) -> np.ndarray:
+        """Cost of writing each packed chunk value onto each cell group.
+
+        ``levels`` is ``(..., cells)`` current levels of one chunk's cells
+        (any leading axes — trellis steps, batch lanes — broadcast);
+        ``symbol_of_value`` is ``(values, cells)`` as precomputed by the
+        Viterbi search.  Returns ``(..., values)`` summed costs.
+        """
+        per_cell = self.cost_table[levels[..., None, :], symbol_of_value]
+        return per_cell.sum(axis=-1)
+
+    def chunk_targets(
+        self, levels: np.ndarray, symbols: np.ndarray
+    ) -> np.ndarray:
+        """Post-write levels for ``symbols`` written onto cells at ``levels``.
+
+        Both arguments share the shape ``(..., cells)``; infeasible entries
+        return the current level (callers must reject them via the cost
+        first, exactly like :attr:`target_table`).
+        """
+        return self.target_table[levels, symbols]
+
 
 def _waterfall_target(level: int, symbol: int, num_levels: int) -> int:
     """Post-write level storing bit ``symbol`` at a waterfall cell at ``level``."""

@@ -113,6 +113,23 @@ class EccIntegratedCosetCode(PageCode):
         )
         return matrix.T.reshape(-1)
 
+    def _interleave_batch(self, coded: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_interleave`: ``(B, blocks * block_bits)`` in."""
+        lanes = len(coded)
+        matrix = coded.reshape(lanes, self.num_blocks, self.hamming.block_bits)
+        inner = np.zeros((lanes, self.inner.dataword_bits), dtype=np.uint8)
+        inner[:, : self._used_inner_bits] = matrix.transpose(0, 2, 1).reshape(
+            lanes, -1
+        )
+        return inner
+
+    def _deinterleave_batch(self, inner: np.ndarray) -> np.ndarray:
+        lanes = len(inner)
+        matrix = inner[:, : self._used_inner_bits].reshape(
+            lanes, self.hamming.block_bits, self.num_blocks
+        )
+        return matrix.transpose(0, 2, 1).reshape(lanes, -1)
+
     # -- PageCode interface ----------------------------------------------------
 
     def encode(self, dataword: np.ndarray, page: np.ndarray) -> np.ndarray:
@@ -121,19 +138,40 @@ class EccIntegratedCosetCode(PageCode):
             raise CodingError(
                 f"dataword must be {self.dataword_bits} bits, got {data.shape}"
             )
-        coded = np.concatenate(
-            [
-                self.hamming.encode_block(
-                    data[b * self.hamming.data_bits : (b + 1) * self.hamming.data_bits]
-                )
-                for b in range(self.num_blocks)
-            ]
-        )
+        coded = self.hamming.encode_blocks(
+            data.reshape(self.num_blocks, self.hamming.data_bits)
+        ).reshape(-1)
         return self.inner.encode(self._interleave(coded), page)
+
+    def encode_batch(
+        self, datawords: np.ndarray, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hamming-protect and coset-encode ``B`` pages in lockstep."""
+        data = np.asarray(datawords, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.dataword_bits:
+            raise CodingError(
+                f"datawords must be (lanes, {self.dataword_bits}) bits, "
+                f"got {data.shape}"
+            )
+        lanes = len(data)
+        coded = self.hamming.encode_blocks(
+            data.reshape(lanes, self.num_blocks, self.hamming.data_bits)
+        ).reshape(lanes, -1)
+        return self.inner.encode_batch(self._interleave_batch(coded), pages)
 
     def decode(self, page: np.ndarray) -> np.ndarray:
         """Plain decode (single corrected errors are transparent)."""
         return self.decode_with_report(page).data
+
+    def decode_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Decode ``B`` pages, applying single-error correction per block."""
+        pages = np.asarray(pages, dtype=np.uint8)
+        lanes = len(pages)
+        coded = self._deinterleave_batch(self.inner.decode_batch(pages))
+        data, _, _ = self.hamming.decode_blocks(
+            coded.reshape(lanes, self.num_blocks, self.hamming.block_bits)
+        )
+        return data.reshape(lanes, -1)
 
     def decode_with_report(self, page: np.ndarray) -> EccDecodeResult:
         """Decode with full ECC accounting.
@@ -142,20 +180,13 @@ class EccIntegratedCosetCode(PageCode):
         corruption is reported via ``detected_uncorrectable``.
         """
         coded = self._deinterleave(self.inner.decode(page))
-        datas = []
-        corrected = 0
-        uncorrectable = 0
-        for b in range(self.num_blocks):
-            report = self.hamming.decode_block(
-                coded[b * self.hamming.block_bits : (b + 1) * self.hamming.block_bits]
-            )
-            datas.append(report.data)
-            corrected += report.corrected_bits
-            uncorrectable += report.detected_uncorrectable
+        data, corrected, uncorrectable = self.hamming.decode_blocks(
+            coded.reshape(self.num_blocks, self.hamming.block_bits)
+        )
         return EccDecodeResult(
-            data=np.concatenate(datas),
-            corrected_bits=corrected,
-            detected_uncorrectable=uncorrectable,
+            data=data.reshape(-1),
+            corrected_bits=int(corrected.sum()),
+            detected_uncorrectable=int(uncorrectable.sum()),
         )
 
     def check(self, page: np.ndarray) -> bool:

@@ -61,6 +61,9 @@ class HammingSecded:
         # For encoding: parity p (r bits) solves H * codeword = 0 where the
         # parity columns form an identity-like set (each a distinct power).
         self._data_cols = self._columns[: self.data_bits]  # (k, r)
+        # Inverse permutation: syndrome value v (1..n) -> reordered position.
+        self._position_of = np.empty(n, dtype=np.int64)
+        self._position_of[self._order] = np.arange(n)
 
     def encode_block(self, data: np.ndarray) -> np.ndarray:
         """Encode ``data_bits`` bits into one ``block_bits`` codeword."""
@@ -103,6 +106,55 @@ class HammingSecded:
         )
 
     # -- array-wise helpers ---------------------------------------------------
+
+    def encode_blocks(self, data: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode_block` over any leading axes.
+
+        ``data`` is ``(..., data_bits)``; the result is
+        ``(..., block_bits)``.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape[-1] != self.data_bits:
+            raise ConfigurationError(
+                f"blocks hold {self.data_bits} data bits, got {data.shape}"
+            )
+        parity = (data.astype(np.int64) @ self._data_cols.astype(np.int64)) % 2
+        word = np.concatenate([data, parity.astype(np.uint8)], axis=-1)
+        overall = word.sum(axis=-1, keepdims=True) % 2
+        return np.concatenate([word, overall.astype(np.uint8)], axis=-1)
+
+    def decode_blocks(
+        self, blocks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decode_block` over any leading axes.
+
+        ``blocks`` is ``(..., block_bits)``.  Returns ``(data, corrected,
+        uncorrectable)`` where ``data`` is ``(..., data_bits)`` and the two
+        masks are ``(...,)`` bool arrays (one entry per block).
+        """
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        if blocks.shape[-1] != self.block_bits:
+            raise ConfigurationError(
+                f"blocks are {self.block_bits} bits, got {blocks.shape}"
+            )
+        word = blocks[..., :-1].copy()
+        overall_ok = blocks.sum(axis=-1) % 2 == 0
+        syndrome = (word.astype(np.int64) @ self._columns.astype(np.int64)) % 2
+        weights = 1 << np.arange(self.r, dtype=np.int64)
+        syndrome_value = syndrome @ weights  # (...,)
+        nonzero = syndrome_value != 0
+        single = nonzero & ~overall_ok
+        uncorrectable = nonzero & overall_ok
+        overall_flip = ~nonzero & ~overall_ok
+        # Flip the erroneous bit of every single-error block in one scatter.
+        position = self._position_of[np.where(nonzero, syndrome_value, 1) - 1]
+        flips = np.zeros_like(word)
+        np.put_along_axis(
+            flips, position[..., None], single[..., None].astype(np.uint8), axis=-1
+        )
+        word ^= flips
+        corrected = single | overall_flip
+        return word[..., : self.data_bits], corrected, uncorrectable
 
     def blocks_for(self, data_bits: int) -> int:
         """Blocks needed to protect ``data_bits`` bits (zero padded)."""

@@ -12,6 +12,8 @@ import abc
 
 import numpy as np
 
+from repro.errors import UnwritableError
+
 __all__ = ["PageCode"]
 
 
@@ -40,3 +42,36 @@ class PageCode(abc.ABC):
     @abc.abstractmethod
     def decode(self, page: np.ndarray) -> np.ndarray:
         """Recover the most recently stored dataword from page bits."""
+
+    def encode_batch(
+        self, datawords: np.ndarray, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode ``B`` independent pages; return ``(new_pages, writable)``.
+
+        ``datawords`` is ``(B, dataword_bits)`` and ``pages`` is
+        ``(B, page_bits)``.  Lanes whose page cannot absorb the update keep
+        their previous bits and are reported as False in the ``writable``
+        mask — no exception, so one saturated page never aborts a batch.
+
+        This default loops over :meth:`encode`; array-first codes override
+        it with a natively vectorized implementation.
+        """
+        pages = np.asarray(pages, dtype=np.uint8)
+        datawords = np.asarray(datawords, dtype=np.uint8)
+        new_pages = pages.copy()
+        writable = np.ones(len(pages), dtype=bool)
+        for lane in range(len(pages)):
+            try:
+                new_pages[lane] = self.encode(datawords[lane], pages[lane])
+            except UnwritableError:
+                writable[lane] = False
+        return new_pages, writable
+
+    def decode_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Decode ``B`` pages to ``(B, dataword_bits)`` datawords.
+
+        This default loops over :meth:`decode`; array-first codes override
+        it.
+        """
+        pages = np.asarray(pages, dtype=np.uint8)
+        return np.stack([self.decode(page) for page in pages])

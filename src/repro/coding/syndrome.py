@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.coding.bitops import gf2_convolve
+from repro.coding.bitops import gf2_convolve_axis, gf2_divide_causal
 from repro.coding.convolutional import ConvolutionalCode
 from repro.errors import CodingError
 
@@ -27,11 +27,17 @@ __all__ = ["SyndromeFormer"]
 
 
 class SyndromeFormer:
-    """Maps stored codewords to datawords and datawords to coset representatives."""
+    """Maps stored codewords to datawords and datawords to coset representatives.
+
+    Both directions carry an explicit batch axis (``syndrome_batch`` /
+    ``representative_batch``); the scalar methods are their ``B = 1``
+    wrappers.
+    """
 
     def __init__(self, code: ConvolutionalCode) -> None:
         self.code = code
         self._coeffs = code.coefficient_matrix.astype(np.int64)
+        self._feedback_taps = np.flatnonzero(self._coeffs[0, 1:]) + 1  # powers >= 1
 
     @property
     def syndrome_bits_per_step(self) -> int:
@@ -56,13 +62,29 @@ class SyndromeFormer:
                 f"expected (steps, {self.code.num_outputs}) streams, got "
                 f"shape {streams.shape}"
             )
-        steps = streams.shape[0]
-        result = np.empty((steps, self.syndrome_bits_per_step), dtype=np.uint8)
-        y1 = streams[:, 0]
+        return self.syndrome_batch(streams[None, :, :])[0]
+
+    def syndrome_batch(self, codeword_streams: np.ndarray) -> np.ndarray:
+        """Syndromes of ``B`` pages of stored streams at once.
+
+        ``codeword_streams`` is ``(B, steps, m)``; the result is
+        ``(B, steps, m-1)``.
+        """
+        streams = np.asarray(codeword_streams, dtype=np.uint8)
+        if streams.ndim != 3 or streams.shape[2] != self.code.num_outputs:
+            raise CodingError(
+                f"expected (lanes, steps, {self.code.num_outputs}) streams, "
+                f"got shape {streams.shape}"
+            )
+        lanes, steps, _ = streams.shape
+        result = np.empty(
+            (lanes, steps, self.syndrome_bits_per_step), dtype=np.uint8
+        )
+        y1 = streams[:, :, 0]
         for j in range(self.syndrome_bits_per_step):
-            term_a = gf2_convolve(y1, self._coeffs[j + 1], steps)
-            term_b = gf2_convolve(streams[:, j + 1], self._coeffs[0], steps)
-            result[:, j] = term_a ^ term_b
+            term_a = gf2_convolve_axis(y1, self._coeffs[j + 1], steps)
+            term_b = gf2_convolve_axis(streams[:, :, j + 1], self._coeffs[0], steps)
+            result[:, :, j] = term_a ^ term_b
         return result
 
     def representative(self, syndrome: np.ndarray) -> np.ndarray:
@@ -84,30 +106,26 @@ class SyndromeFormer:
                 f"expected (steps, {self.syndrome_bits_per_step}) syndrome, "
                 f"got shape {s.shape}"
             )
-        steps = s.shape[0]
-        rep = np.zeros((steps, self.code.num_outputs), dtype=np.uint8)
-        feedback_taps = np.flatnonzero(self._coeffs[0, 1:]) + 1  # powers >= 1
-        for j in range(self.syndrome_bits_per_step):
-            stream = _divide_by_g1(s[:, j], feedback_taps, steps)
-            rep[:, j + 1] = stream
+        return self.representative_batch(s[None, :, :])[0]
+
+    def representative_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Canonical coset members for ``B`` syndromes at once.
+
+        ``syndromes`` is ``(B, steps, m-1)``; the result is
+        ``(B, steps, m)``.  The causal division by ``g1`` runs all lanes and
+        all streams in lockstep (one Python loop over trellis steps).
+        """
+        s = np.asarray(syndromes, dtype=np.uint8)
+        if s.ndim != 3 or s.shape[2] != self.syndrome_bits_per_step:
+            raise CodingError(
+                f"expected (lanes, steps, {self.syndrome_bits_per_step}) "
+                f"syndromes, got shape {s.shape}"
+            )
+        lanes, steps, _ = s.shape
+        rep = np.zeros((lanes, steps, self.code.num_outputs), dtype=np.uint8)
+        # Divide all (lane, stream) sequences at once: move the step axis
+        # last so the division vectorizes over lanes * (m-1) sequences.
+        numerators = np.moveaxis(s, 1, 2)  # (B, m-1, steps)
+        streams = gf2_divide_causal(numerators, self._feedback_taps)
+        rep[:, :, 1:] = np.moveaxis(streams, 2, 1)
         return rep
-
-
-def _divide_by_g1(
-    numerator: np.ndarray, feedback_taps: np.ndarray, steps: int
-) -> np.ndarray:
-    """Causal GF(2) division by ``g1(D)`` (constant term 1 assumed).
-
-    Solves ``t`` in ``g1 * t = numerator`` term by term:
-    ``t[n] = numerator[n] XOR sum(t[n - i] for tap powers i >= 1)``.
-    """
-    out = np.zeros(steps, dtype=np.uint8)
-    num = numerator.astype(np.uint8)
-    taps = [int(tap) for tap in feedback_taps]
-    for n in range(steps):
-        acc = int(num[n])
-        for tap in taps:
-            if tap <= n:
-                acc ^= int(out[n - tap])
-        out[n] = acc
-    return out

@@ -6,6 +6,13 @@ minimizing the total write cost of ``y = t XOR c`` under a
 :class:`~repro.coding.cost.CellCodebook`.  This is the engine behind every
 Methuselah Flash Code: the dataword fixes the coset, the Viterbi picks which
 member to write (paper Section V).
+
+The search is array-first: :meth:`CosetViterbi.search_batch` runs ``B``
+independent pages in lockstep with path metrics of shape
+``(B, num_states)``, and :meth:`CosetViterbi.search` is its ``B = 1``
+wrapper.  Lanes whose coset has no writable member are reported through
+:attr:`ViterbiBatchResult.writable` instead of an exception, so one
+saturated page never aborts the whole batch.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from repro.coding.convolutional import Trellis
 from repro.coding.cost import CellCodebook
 from repro.errors import ConfigurationError, UnwritableError
 
-__all__ = ["CosetViterbi", "ViterbiResult"]
+__all__ = ["CosetViterbi", "ViterbiResult", "ViterbiBatchResult"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +46,45 @@ class ViterbiResult:
     codeword_values: np.ndarray
     target_levels: np.ndarray
     total_cost: float
+
+
+@dataclass(frozen=True)
+class ViterbiBatchResult:
+    """Outcome of a batched coset search over ``B`` independent pages.
+
+    Attributes
+    ----------
+    codeword_values:
+        ``(B, steps)`` packed codeword chunks per lane.
+    target_levels:
+        ``(B, steps, cells_per_step)`` post-write levels per lane.
+    total_costs:
+        ``(B,)`` metric cost per lane (``inf`` on unwritable lanes).
+    writable:
+        ``(B,)`` bool; False marks lanes whose page must be erased.  The
+        codeword and target entries of unwritable lanes are meaningless and
+        must not be committed.
+    """
+
+    codeword_values: np.ndarray
+    target_levels: np.ndarray
+    total_costs: np.ndarray
+    writable: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.total_costs)
+
+    def lane(self, index: int) -> ViterbiResult:
+        """The scalar result of one writable lane."""
+        if not self.writable[index]:
+            raise UnwritableError(
+                "no codeword in the coset is writable onto the current page"
+            )
+        return ViterbiResult(
+            codeword_values=self.codeword_values[index],
+            target_levels=self.target_levels[index],
+            total_cost=float(self.total_costs[index]),
+        )
 
 
 class CosetViterbi:
@@ -65,22 +111,29 @@ class CosetViterbi:
         self._pred_output = trellis.output_values[
             trellis.prev_state, trellis.prev_input
         ]
+        # xor_gather[v, s, k] = pred_output[s, k] ^ v for every packed chunk
+        # value, so each trellis step is a pure table gather with no XOR
+        # broadcasting in the hot loop.
+        self._xor_gather = (
+            self._pred_output[None, :, :] ^ values[:, None, None]
+        ).astype(np.int64)
 
     def step_cost_table(self, step_levels: np.ndarray) -> np.ndarray:
         """Cost of writing each packed chunk value at each step.
 
-        ``step_levels`` is ``(steps, cells_per_step)``; the result is
-        ``(steps, 2**m)``.
+        ``step_levels`` is ``(..., steps, cells_per_step)`` with any leading
+        batch axes; the result is ``(..., steps, 2**m)``.
         """
-        per_cell = self.codebook.cost_table[
-            step_levels[:, None, :], self.symbol_of_value[None, :, :]
-        ]
-        return per_cell.sum(axis=2)
+        levels = np.asarray(step_levels, dtype=np.int64)
+        return self.codebook.chunk_costs(levels, self.symbol_of_value)
 
     def search(
         self, representative_values: np.ndarray, step_levels: np.ndarray
     ) -> ViterbiResult:
         """Find the minimum-cost writable codeword in the coset.
+
+        A thin ``B = 1`` wrapper over :meth:`search_batch` with identical
+        results.
 
         Parameters
         ----------
@@ -95,53 +148,87 @@ class CosetViterbi:
             If every coset member would increment a saturated cell (or
             request an unreachable level); the page must be erased.
         """
-        trellis = self.trellis
-        steps = len(representative_values)
+        reps = np.asarray(representative_values, dtype=np.int64)
+        steps = len(reps)
         levels = np.asarray(step_levels, dtype=np.int64)
         if levels.shape != (steps, self.cells_per_step):
             raise ConfigurationError(
                 f"step_levels must be ({steps}, {self.cells_per_step}), "
                 f"got {levels.shape}"
             )
-        step_costs = self.step_cost_table(levels)
+        batch = self.search_batch(reps[None, :], levels[None, :, :])
+        return batch.lane(0)
+
+    def search_batch(
+        self, representative_values: np.ndarray, step_levels: np.ndarray
+    ) -> ViterbiBatchResult:
+        """Run the coset search for ``B`` independent pages in lockstep.
+
+        Parameters
+        ----------
+        representative_values:
+            ``(B, steps)`` packed coset-representative chunks, one row per
+            lane.
+        step_levels:
+            ``(B, steps, cells_per_step)`` current v-cell levels per lane.
+
+        The add-compare-select recursion and the backtrace are vectorized
+        over the batch axis; the only Python loop is over trellis steps.
+        Unwritable lanes are flagged in the result mask instead of raising,
+        so callers can recycle those pages and keep the batch going.
+        """
+        trellis = self.trellis
+        reps = np.asarray(representative_values, dtype=np.int64)
+        if reps.ndim != 2:
+            raise ConfigurationError(
+                f"representative_values must be (lanes, steps), got shape "
+                f"{reps.shape}"
+            )
+        lanes, steps = reps.shape
+        levels = np.asarray(step_levels, dtype=np.int64)
+        if levels.shape != (lanes, steps, self.cells_per_step):
+            raise ConfigurationError(
+                f"step_levels must be ({lanes}, {steps}, "
+                f"{self.cells_per_step}), got {levels.shape}"
+            )
+        step_costs = self.step_cost_table(levels)  # (B, steps, 2**m)
         num_states = trellis.num_states
         output_values = trellis.output_values
         prev_state = trellis.prev_state
         prev_input = trellis.prev_input
-        pred_output = self._pred_output
-        rep_list = [int(v) for v in representative_values]
+        xor_gather = self._xor_gather
+        lane_index = np.arange(lanes)
+        lane_grid = lane_index[:, None, None]
         # Free initial state: the encoder may start anywhere; the first
         # 2*memory syndrome steps are guard (don't-care) data so the choice
         # never corrupts decoding (see ConvolutionalCosetCode.guard_steps).
-        path = np.zeros(num_states)
-        backptr = np.empty((steps, num_states), dtype=np.uint8)
-        state_index = np.arange(num_states)
+        path = np.zeros((lanes, num_states))
+        backptr = np.empty((lanes, steps, num_states), dtype=np.uint8)
         for t in range(steps):
-            # incoming[s', k] = cost of reaching s' via its k-th predecessor.
-            incoming = path[prev_state] + step_costs[t][pred_output ^ rep_list[t]]
-            choice = (incoming[:, 1] < incoming[:, 0]).astype(np.uint8)
-            path = incoming[state_index, choice]
-            backptr[t] = choice
-        end_state = int(np.argmin(path))
-        total_cost = float(path[end_state])
-        if not np.isfinite(total_cost):
-            raise UnwritableError(
-                "no codeword in the coset is writable onto the current page"
-            )
-        codeword_values = np.empty(steps, dtype=np.int64)
-        state = end_state
+            # incoming[b, s', k] = cost of lane b reaching s' via its k-th
+            # predecessor.
+            gather = xor_gather[reps[:, t]]  # (B, S, 2)
+            branch = step_costs[:, t][lane_grid, gather]
+            incoming = path[:, prev_state] + branch
+            lower = incoming[:, :, 1] < incoming[:, :, 0]
+            path = np.where(lower, incoming[:, :, 1], incoming[:, :, 0])
+            backptr[:, t] = lower
+        end_state = np.argmin(path, axis=1)
+        total_costs = path[lane_index, end_state]
+        writable = np.isfinite(total_costs)
+        codeword_values = np.empty((lanes, steps), dtype=np.int64)
+        state = end_state.astype(np.int64)
         for t in range(steps - 1, -1, -1):
-            choice = backptr[t, state]
-            source = int(prev_state[state, choice])
-            u = int(prev_input[state, choice])
-            codeword_values[t] = output_values[source, u] ^ int(
-                representative_values[t]
-            )
+            choice = backptr[lane_index, t, state]
+            source = prev_state[state, choice].astype(np.int64)
+            u = prev_input[state, choice]
+            codeword_values[:, t] = output_values[source, u] ^ reps[:, t]
             state = source
-        symbols = self.symbol_of_value[codeword_values]
-        target_levels = self.codebook.target_table[levels, symbols]
-        return ViterbiResult(
+        symbols = self.symbol_of_value[codeword_values]  # (B, steps, cells)
+        target_levels = self.codebook.chunk_targets(levels, symbols)
+        return ViterbiBatchResult(
             codeword_values=codeword_values,
             target_levels=target_levels,
-            total_cost=total_cost,
+            total_costs=total_costs,
+            writable=writable,
         )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.coding.bitops import pack_values, unpack_values
+from repro.coding.bitops import pack_values, pack_values_axis, unpack_values, unpack_values_axis
 from repro.coding.page_code import PageCode
 from repro.errors import CodingError, UnwritableError
 from repro.vcell import VCellArray, VCellSpec
@@ -103,6 +103,44 @@ class WomVCellCode(PageCode):
     def decode(self, page: np.ndarray) -> np.ndarray:
         values = WOM_VALUE_OF_PATTERN[self._patterns(page)]
         return unpack_values(values, self.BITS_PER_VALUE)
+
+    # -- batched interface -----------------------------------------------------
+
+    def _patterns_batch(self, pages: np.ndarray) -> np.ndarray:
+        bits = np.asarray(pages, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[1] != self.page_bits:
+            raise CodingError(
+                f"expected (lanes, {self.page_bits}) pages, got shape "
+                f"{bits.shape}"
+            )
+        return pack_values_axis(bits[:, : self.varray.used_bits], 3)
+
+    def encode_batch(
+        self, datawords: np.ndarray, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Native batched WOM write: all lanes advance in one table gather.
+
+        Lanes with an unreachable cell pattern keep their previous bits and
+        come back False in the ``writable`` mask.
+        """
+        data = np.asarray(datawords, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.dataword_bits:
+            raise CodingError(
+                f"datawords must be (lanes, {self.dataword_bits}) bits, "
+                f"got {data.shape}"
+            )
+        values = pack_values_axis(data, self.BITS_PER_VALUE)
+        patterns = self._patterns_batch(pages)
+        targets = WOM_NEXT_PATTERN[patterns, values]
+        writable = ~(targets < 0).any(axis=1)
+        new_pages = np.asarray(pages, dtype=np.uint8).copy()
+        safe_targets = np.where(writable[:, None], targets, patterns)
+        new_pages[:, : self.varray.used_bits] = unpack_values_axis(safe_targets, 3)
+        return new_pages, writable
+
+    def decode_batch(self, pages: np.ndarray) -> np.ndarray:
+        values = WOM_VALUE_OF_PATTERN[self._patterns_batch(pages)]
+        return unpack_values_axis(values, self.BITS_PER_VALUE)
 
     def updates_guaranteed(self) -> int:
         """Writes always possible after an erase (the WOM guarantee)."""

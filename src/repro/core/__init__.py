@@ -17,7 +17,12 @@ from repro.core.mfc import MfcScheme, MFC_VARIANTS
 from repro.core.ecc_scheme import EccMfcScheme
 from repro.core.rank_scheme import RankModulationScheme
 from repro.core.factory import make_scheme, available_schemes
-from repro.core.lifetime import LifetimeSimulator, LifetimeResult
+from repro.core.lifetime import (
+    LifetimeSimulator,
+    LifetimeResult,
+    BatchLifetimeSimulator,
+    BatchLifetimeResult,
+)
 from repro.core.metrics import SchemeSummary, summarize
 from repro.core.tradeoff import (
     TradeoffRectangle,
@@ -41,6 +46,8 @@ __all__ = [
     "available_schemes",
     "LifetimeSimulator",
     "LifetimeResult",
+    "BatchLifetimeSimulator",
+    "BatchLifetimeResult",
     "SchemeSummary",
     "summarize",
     "TradeoffRectangle",

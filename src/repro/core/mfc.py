@@ -1,5 +1,9 @@
 """Methuselah Flash Codes as schemes (paper Section VI).
 
+All variants execute natively batched: ``write_batch`` runs one Viterbi
+lockstep over every lane (states are a single ``(lanes, raw_bits)`` array),
+which is how the lifetime simulator and the experiments drive them.
+
 The five implementations evaluated in the paper:
 
 ======================  ==========  ====  ============
@@ -93,3 +97,12 @@ class MfcScheme(PageCodeScheme):
     def ideal_rate(self) -> float:
         """The paper's nominal rate, ignoring guard/rounding losses."""
         return self.code.ideal_rate
+
+    @property
+    def last_write_costs(self):
+        """Per-lane Viterbi metric costs of the most recent batched write.
+
+        Useful for wear analyses over a whole batch; unwritable lanes hold
+        ``inf``.
+        """
+        return self.code.last_write_costs

@@ -1,12 +1,26 @@
-"""The rewriting-scheme interface used by every evaluation in the paper."""
+"""The rewriting-scheme interface used by every evaluation in the paper.
+
+Every scheme exposes two faces of the same contract: the scalar methods
+(:meth:`RewritingScheme.write` / :meth:`~RewritingScheme.read`) operate on
+one state, and the batched methods (:meth:`~RewritingScheme.write_batch` /
+:meth:`~RewritingScheme.read_batch`) run ``B`` independent states in
+lockstep.  The batched default loops over the scalar path so third-party
+schemes keep working unchanged; array-backed schemes
+(:class:`PageCodeScheme`) override it with natively vectorized
+implementations.  Batched writes never raise
+:class:`~repro.errors.UnwritableError` — exhausted lanes come back
+unchanged with a False entry in the returned mask.
+"""
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.coding.page_code import PageCode
+from repro.errors import UnwritableError
 
 __all__ = ["RewritingScheme", "PageCodeScheme"]
 
@@ -60,6 +74,47 @@ class RewritingScheme(abc.ABC):
         """
         return None
 
+    # -- batched interface -----------------------------------------------------
+    #
+    # Batched states are whatever container the scheme chooses: an ndarray
+    # with a leading lane axis for array-backed schemes, or any sequence
+    # indexable by lane for structured states.  The defaults below keep the
+    # two faces consistent for every scheme; overriding them is purely a
+    # performance decision.
+
+    def fresh_states(self, lanes: int):
+        """States of ``lanes`` freshly erased units, indexable by lane."""
+        return [self.fresh_state() for _ in range(lanes)]
+
+    def write_batch(self, states, datawords: np.ndarray):
+        """Store one dataword per lane; return ``(new_states, writable)``.
+
+        ``datawords`` is ``(lanes, dataword_bits)``.  Lanes that would need
+        an erase keep their previous state and are reported as False in the
+        ``writable`` mask — the batched counterpart of
+        :class:`~repro.errors.UnwritableError`.
+        """
+        lanes = len(states)
+        writable = np.ones(lanes, dtype=bool)
+        new_states = list(states) if not isinstance(states, np.ndarray) else states.copy()
+        for lane in range(lanes):
+            try:
+                new_states[lane] = self.write(states[lane], datawords[lane])
+            except UnwritableError:
+                writable[lane] = False
+        return new_states, writable
+
+    def read_batch(self, states) -> np.ndarray:
+        """Recover the ``(lanes, dataword_bits)`` stored datawords."""
+        return np.stack([self.read(state) for state in states])
+
+    def cell_levels_batch(self, states) -> np.ndarray | None:
+        """Per-lane v-cell levels ``(lanes, cells)``, or None if not cell-based."""
+        levels = [self.cell_levels(state) for state in states]
+        if any(lane_levels is None for lane_levels in levels):
+            return None
+        return np.stack(levels)
+
     def __str__(self) -> str:
         return (
             f"{self.name} (rate {self.rate:.4f}, {self.dataword_bits} data "
@@ -90,3 +145,28 @@ class PageCodeScheme(RewritingScheme):
         if varray is None:
             return None
         return varray.levels(state)
+
+    # -- batched interface (native: states are one (lanes, raw_bits) array) ---
+
+    def fresh_states(self, lanes: int) -> np.ndarray:
+        return np.zeros((lanes, self.raw_bits), dtype=np.uint8)
+
+    def write_batch(
+        self, states: np.ndarray | Sequence[np.ndarray], datawords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        states = np.asarray(states, dtype=np.uint8)
+        datawords = np.asarray(datawords, dtype=np.uint8)
+        return self.code.encode_batch(datawords, states)
+
+    def read_batch(
+        self, states: np.ndarray | Sequence[np.ndarray]
+    ) -> np.ndarray:
+        return self.code.decode_batch(np.asarray(states, dtype=np.uint8))
+
+    def cell_levels_batch(
+        self, states: np.ndarray | Sequence[np.ndarray]
+    ) -> np.ndarray | None:
+        varray = getattr(self.code, "varray", None)
+        if varray is None:
+            return None
+        return varray.levels_batch(np.asarray(states, dtype=np.uint8))

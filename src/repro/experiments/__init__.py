@@ -8,6 +8,7 @@ qualitative shapes.
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import simulate
 from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.extensions import run_extensions, format_extensions
 from repro.experiments.figures import (
@@ -27,6 +28,7 @@ from repro.experiments.figures import (
 
 __all__ = [
     "ExperimentConfig",
+    "simulate",
     "run_table1",
     "format_table1",
     "run_extensions",

@@ -1,0 +1,42 @@
+"""Batch-aware simulation entry point shared by every experiment.
+
+All experiment drivers (Table I, Figs. 11-16) go through
+:func:`simulate` so the ``REPRO_LANES`` knob applies uniformly.  With
+``lanes=1`` (the default) this is exactly the historical scalar
+:class:`~repro.core.lifetime.LifetimeSimulator` run — same seed, same
+numbers bit for bit.  With more lanes, the vectorized
+:class:`~repro.core.lifetime.BatchLifetimeSimulator` runs ``lanes``
+independently seeded pages in lockstep (lane ``i`` seeded ``seed + i``)
+and pools their cycles, multiplying the sample size behind every reported
+gain at far less than proportional wall-clock cost.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BatchLifetimeSimulator,
+    LifetimeResult,
+    LifetimeSimulator,
+    RewritingScheme,
+)
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["simulate"]
+
+
+def simulate(
+    scheme: RewritingScheme, config: ExperimentConfig
+) -> LifetimeResult:
+    """Run ``scheme``'s lifetime simulation under ``config``.
+
+    Returns a scalar-shaped :class:`~repro.core.lifetime.LifetimeResult`
+    either way; batched runs pool all lanes' cycles into it.
+    """
+    if config.lanes <= 1:
+        return LifetimeSimulator(scheme, seed=config.seed).run(
+            cycles=config.cycles
+        )
+    batch = BatchLifetimeSimulator(
+        scheme, lanes=config.lanes, seed=config.seed
+    ).run(cycles=config.cycles)
+    return batch.merged()

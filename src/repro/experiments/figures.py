@@ -5,14 +5,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import (
-    LifetimeSimulator,
-    SchemeSummary,
     TradeoffRectangle,
     cost_to_achieve,
     make_scheme,
     rectangle_for,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import simulate
 from repro.experiments.table1 import run_table1
 
 __all__ = [
@@ -110,9 +109,7 @@ def fig14_data(
                 else {}
             )
             scheme = make_scheme(name, page_bits=page_bytes * 8, **kwargs)
-            result = LifetimeSimulator(scheme, seed=config.seed).run(
-                cycles=config.cycles
-            )
+            result = simulate(scheme, config)
             series[name].append((page_bytes, result.lifetime_gain))
     return series
 
@@ -127,7 +124,7 @@ def _traced_run(config: ExperimentConfig, name: str):
         else {}
     )
     scheme = make_scheme(name, page_bits=config.page_bits, **kwargs)
-    return LifetimeSimulator(scheme, seed=config.seed).run(cycles=config.cycles)
+    return simulate(scheme, config)
 
 
 def fig15_data(

@@ -71,20 +71,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--constraint-length", type=int,
                         default=defaults.constraint_length,
                         help="trellis size for MFC coset codes (K)")
+    parser.add_argument("--lanes", type=int, default=defaults.lanes,
+                        help="concurrent pages per simulation (batched "
+                             "engine; 1 = historical scalar numbers)")
     args = parser.parse_args(argv)
     config = ExperimentConfig(
         page_bytes=args.page_bytes,
         cycles=args.cycles,
         seed=args.seed,
         constraint_length=args.constraint_length,
+        lanes=args.lanes,
     )
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         start = time.time()
         output = _run_one(name, config)
         elapsed = time.time() - start
+        lanes_note = f", {config.lanes} lanes" if config.lanes > 1 else ""
         print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
-              f"K={config.constraint_length}, {elapsed:.1f}s) ===")
+              f"K={config.constraint_length}{lanes_note}, {elapsed:.1f}s) ===")
         print(output)
         print()
     return 0

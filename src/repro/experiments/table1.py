@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core import LifetimeSimulator, SchemeSummary, make_scheme
+from repro.core import SchemeSummary, make_scheme
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import simulate
 
 __all__ = ["TABLE1_SCHEMES", "run_table1", "format_table1"]
 
@@ -38,10 +39,7 @@ def run_table1(
             else {}
         )
         scheme = make_scheme(name, page_bits=config.page_bits, **kwargs)
-        result = LifetimeSimulator(scheme, seed=config.seed).run(
-            cycles=config.cycles
-        )
-        rows.append(SchemeSummary.from_result(result))
+        rows.append(SchemeSummary.from_result(simulate(scheme, config)))
     return rows
 
 

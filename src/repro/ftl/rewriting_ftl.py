@@ -140,3 +140,62 @@ class RewritingFTL(BasicFTL):
         self._write_out_of_place(lpn, data, count_relocation=addr is not None)
         self.stats.host_writes += 1
         self._maybe_static_migration()
+
+    def write_batch(self, lpns, datawords: np.ndarray) -> None:
+        """Write several logical pages, batching the in-place encodes.
+
+        Every mapped logical page's program-without-erase attempt runs
+        through one ``scheme.write_batch`` call (a single lockstep Viterbi
+        search for MFCs) instead of one scalar encode per page.  Lanes the
+        batch reports unwritable relocate exactly like the scalar path;
+        unmapped pages and repeated LPNs fall back to :meth:`write` so
+        per-LPN write ordering is preserved.
+        """
+        data = np.asarray(datawords, dtype=np.uint8)
+        if data.ndim != 2 or data.shape != (len(lpns), self.dataword_bits):
+            raise CodingError(
+                f"expected ({len(lpns)}, {self.dataword_bits}) dataword "
+                f"bits, got {data.shape}"
+            )
+        batch_lanes: list[int] = []
+        addrs: list[tuple[int, int]] = []
+        scalar_lanes: list[int] = []
+        seen: set[int] = set()
+        for lane, lpn in enumerate(lpns):
+            addr = self.mapping.lookup(lpn) if lpn not in seen else None
+            if addr is not None:
+                batch_lanes.append(lane)
+                addrs.append(addr)
+            else:
+                scalar_lanes.append(lane)
+            seen.add(lpn)
+        if batch_lanes:
+            current = np.stack(
+                [self.chip.read_page(*addr, noisy=False) for addr in addrs]
+            )
+            new_states, writable = self.scheme.write_batch(
+                current, data[batch_lanes]
+            )
+            new_states = np.asarray(new_states)
+            for j, lane in enumerate(batch_lanes):
+                lpn = lpns[lane]
+                addr = addrs[j]
+                if writable[j]:
+                    try:
+                        self.chip.program_page(addr[0], addr[1], new_states[j])
+                    except (PartialProgramLimitError, BlockWornOutError):
+                        pass
+                    except ProgramFailedError as exc:
+                        self.stats.program_failures += 1
+                        if exc.permanent:
+                            self._retire_block(addr[0])
+                    else:
+                        self.stats.in_place_rewrites += 1
+                        self.stats.host_writes += 1
+                        self._maybe_static_migration()
+                        continue
+                self._write_out_of_place(lpn, data[lane], count_relocation=True)
+                self.stats.host_writes += 1
+                self._maybe_static_migration()
+        for lane in scalar_lanes:
+            self.write(lpns[lane], data[lane])

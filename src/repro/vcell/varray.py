@@ -45,9 +45,24 @@ class VCellArray:
             )
         return bits[: self.used_bits].reshape(self.num_cells, self.bits_per_cell)
 
+    def _cell_matrix_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Reshape ``(B, page_bits)`` pages into ``(B, num_cells, bits_per_cell)``."""
+        bits = np.asarray(pages, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[1] != self.page_bits:
+            raise VCellError(
+                f"expected (lanes, {self.page_bits}) pages, got shape {bits.shape}"
+            )
+        return bits[:, : self.used_bits].reshape(
+            len(bits), self.num_cells, self.bits_per_cell
+        )
+
     def levels(self, page_bits: np.ndarray) -> np.ndarray:
         """Per-cell levels (popcount of each cell's bit group)."""
         return self._cell_matrix(page_bits).sum(axis=1, dtype=np.int64)
+
+    def levels_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Per-cell levels for ``B`` pages at once: ``(B, num_cells)``."""
+        return self._cell_matrix_batch(pages).sum(axis=2, dtype=np.int64)
 
     def erased_page(self) -> np.ndarray:
         """A fresh all-zero page buffer."""
@@ -98,6 +113,43 @@ class VCellArray:
         new_page = np.asarray(page_bits, dtype=np.uint8).copy()
         new_page[: self.used_bits] = new_cells.reshape(-1)
         return new_page
+
+    def program_levels_batch(
+        self, pages: np.ndarray, target_levels: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`program_levels`: ``(B, page_bits)`` pages to
+        ``(B, num_cells)`` targets, with the same per-cell legality checks.
+        """
+        targets = np.asarray(target_levels)
+        cells = self._cell_matrix_batch(pages)
+        lanes = len(cells)
+        if targets.shape != (lanes, self.num_cells):
+            raise VCellError(
+                f"expected ({lanes}, {self.num_cells}) target levels, got "
+                f"shape {targets.shape}"
+            )
+        if targets.max(initial=0) > self.spec.max_level:
+            lane, cell = (arr[0] for arr in np.nonzero(targets > self.spec.max_level))
+            raise CellSaturatedError(
+                f"lane {lane}, cell {cell}: target level "
+                f"{targets[lane, cell]} exceeds L{self.spec.max_level}"
+            )
+        current = cells.sum(axis=2, dtype=np.int64)
+        deficits = targets - current
+        if (deficits < 0).any():
+            lane, cell = (arr[0] for arr in np.nonzero(deficits < 0))
+            raise VCellError(
+                f"lane {lane}, cell {cell}: cannot lower level from "
+                f"L{current[lane, cell]} to L{targets[lane, cell]} without "
+                "an erase"
+            )
+        unset = cells == 0
+        ranks = np.cumsum(unset, axis=2) - unset
+        to_set = unset & (ranks < deficits[:, :, None])
+        new_cells = cells | to_set.astype(np.uint8)
+        new_pages = np.asarray(pages, dtype=np.uint8).copy()
+        new_pages[:, : self.used_bits] = new_cells.reshape(lanes, -1)
+        return new_pages
 
     def saturated(self, page_bits: np.ndarray) -> np.ndarray:
         """Boolean mask of cells at the maximum level."""

@@ -1,0 +1,123 @@
+"""Batched Viterbi search: lockstep lanes must equal independent searches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import get_code, make_codebook
+from repro.coding.viterbi import CosetViterbi, ViterbiBatchResult
+from repro.errors import ConfigurationError, UnwritableError
+
+
+def make_viterbi(denominator=2, constraint_length=3, bpc=1, levels=4):
+    code = get_code(denominator, constraint_length)
+    return CosetViterbi(code.build_trellis(), make_codebook(bpc, levels))
+
+
+def random_problem(viterbi, rng, steps, max_level):
+    """A random representative plus feasible cell levels."""
+    rep = rng.integers(0, viterbi.num_values, steps)
+    levels = rng.integers(0, max_level + 1, (steps, viterbi.cells_per_step))
+    return rep, levels
+
+
+class TestBatchEqualsScalar:
+    @pytest.mark.parametrize("denominator,bpc", [(2, 1), (2, 2), (3, 1), (5, 1)])
+    def test_each_lane_matches_independent_search(
+        self, denominator: int, bpc: int
+    ) -> None:
+        viterbi = make_viterbi(denominator=denominator, bpc=bpc)
+        rng = np.random.default_rng(denominator * 10 + bpc)
+        steps, lanes = 9, 8
+        reps = np.stack(
+            [rng.integers(0, viterbi.num_values, steps) for _ in range(lanes)]
+        )
+        levels = rng.integers(0, 3, (lanes, steps, viterbi.cells_per_step))
+        batch = viterbi.search_batch(reps, levels)
+        for lane in range(lanes):
+            scalar = viterbi.search(reps[lane], levels[lane])
+            got = batch.lane(lane)
+            assert np.array_equal(got.codeword_values, scalar.codeword_values)
+            assert np.array_equal(got.target_levels, scalar.target_levels)
+            assert got.total_cost == scalar.total_cost
+
+    def test_lane_order_is_irrelevant(self) -> None:
+        """Shuffling lanes permutes the results and nothing else."""
+        viterbi = make_viterbi()
+        rng = np.random.default_rng(3)
+        steps, lanes = 7, 6
+        reps = rng.integers(0, viterbi.num_values, (lanes, steps))
+        levels = rng.integers(0, 3, (lanes, steps, viterbi.cells_per_step))
+        perm = rng.permutation(lanes)
+        direct = viterbi.search_batch(reps, levels)
+        shuffled = viterbi.search_batch(reps[perm], levels[perm])
+        assert np.array_equal(
+            shuffled.codeword_values, direct.codeword_values[perm]
+        )
+        assert np.array_equal(shuffled.total_costs, direct.total_costs[perm])
+
+
+class TestUnwritableLanes:
+    def _saturated_problem(self, viterbi, rng, steps):
+        """All cells at the top level: no coset member can be written."""
+        rep = rng.integers(1, viterbi.num_values, steps)
+        levels = np.full((steps, viterbi.cells_per_step), 3)
+        return rep, levels
+
+    def test_saturated_lane_is_masked_not_raised(self) -> None:
+        viterbi = make_viterbi()
+        rng = np.random.default_rng(0)
+        steps = 8
+        good_rep, good_levels = random_problem(viterbi, rng, steps, max_level=1)
+        bad_rep, bad_levels = self._saturated_problem(viterbi, rng, steps)
+        batch = viterbi.search_batch(
+            np.stack([good_rep, bad_rep, good_rep]),
+            np.stack([good_levels, bad_levels, good_levels]),
+        )
+        assert list(batch.writable) == [True, False, True]
+        assert np.isinf(batch.total_costs[1])
+        # Writable lanes are untouched by their saturated neighbor.
+        scalar = viterbi.search(good_rep, good_levels)
+        assert batch.lane(0).total_cost == scalar.total_cost
+        assert batch.lane(2).total_cost == scalar.total_cost
+        with pytest.raises(UnwritableError):
+            batch.lane(1)
+
+    def test_scalar_wrapper_still_raises(self) -> None:
+        viterbi = make_viterbi()
+        rng = np.random.default_rng(1)
+        rep, levels = self._saturated_problem(viterbi, rng, steps=6)
+        with pytest.raises(UnwritableError):
+            viterbi.search(rep, levels)
+
+
+class TestPrecomputedGather:
+    def test_xor_gather_table_matches_definition(self) -> None:
+        viterbi = make_viterbi(denominator=3)
+        values = np.arange(viterbi.num_values)
+        expected = viterbi._pred_output[None, :, :] ^ values[:, None, None]
+        assert np.array_equal(viterbi._xor_gather, expected)
+
+    def test_batch_result_len(self) -> None:
+        viterbi = make_viterbi()
+        rng = np.random.default_rng(5)
+        reps = rng.integers(0, viterbi.num_values, (4, 6))
+        levels = rng.integers(0, 2, (4, 6, viterbi.cells_per_step))
+        result = viterbi.search_batch(reps, levels)
+        assert isinstance(result, ViterbiBatchResult)
+        assert len(result) == 4
+
+
+class TestValidation:
+    def test_rejects_non_2d_representatives(self) -> None:
+        viterbi = make_viterbi()
+        with pytest.raises(ConfigurationError):
+            viterbi.search_batch(np.zeros(5, dtype=np.int64), np.zeros((5, 1)))
+
+    def test_rejects_mismatched_level_shape(self) -> None:
+        viterbi = make_viterbi()
+        with pytest.raises(ConfigurationError):
+            viterbi.search_batch(
+                np.zeros((2, 5), dtype=np.int64), np.zeros((2, 4, 1))
+            )

@@ -1,0 +1,85 @@
+"""Batched FTL writes must be indistinguishable from sequential writes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_scheme
+from repro.errors import CodingError
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import RewritingFTL
+
+
+def make_ftl(scheme_name="wom", page_bits=96, **scheme_kw):
+    chip = FlashChip(
+        FlashGeometry(
+            blocks=6, pages_per_block=4, page_bits=page_bits, erase_limit=50
+        )
+    )
+    scheme = make_scheme(scheme_name, page_bits, **scheme_kw)
+    return RewritingFTL(chip, scheme, logical_pages=8)
+
+
+def rand_batch(rng, lanes, bits):
+    return rng.integers(0, 2, (lanes, bits), dtype=np.uint8)
+
+
+@pytest.mark.parametrize(
+    "scheme_name,kwargs",
+    [("wom", {}), ("mfc-1/2-1bpc", {"constraint_length": 4})],
+)
+class TestWriteBatchEqualsSequential:
+    def test_interleaved_histories_converge(self, scheme_name, kwargs) -> None:
+        """Same write stream via write() and write_batch(): same device."""
+        sequential = make_ftl(scheme_name, **kwargs)
+        batched = make_ftl(scheme_name, **kwargs)
+        rng = np.random.default_rng(0)
+        bits = sequential.dataword_bits
+        for _ in range(30):
+            lpns = [int(lpn) for lpn in rng.integers(0, 8, 4)]
+            words = rand_batch(rng, 4, bits)
+            for lpn, word in zip(lpns, words):
+                sequential.write(lpn, word)
+            batched.write_batch(lpns, words)
+        for lpn in range(8):
+            assert np.array_equal(sequential.read(lpn), batched.read(lpn))
+        assert sequential.stats.host_writes == batched.stats.host_writes
+        assert (
+            sequential.stats.in_place_rewrites
+            == batched.stats.in_place_rewrites
+        )
+        assert sequential.stats.relocations == batched.stats.relocations
+
+    def test_duplicate_lpns_keep_write_order(self, scheme_name, kwargs) -> None:
+        """Repeated LPNs in one batch apply in order (last write wins)."""
+        ftl = make_ftl(scheme_name, **kwargs)
+        rng = np.random.default_rng(1)
+        bits = ftl.dataword_bits
+        first, second = rand_batch(rng, 2, bits)
+        ftl.write_batch([3, 3], np.stack([first, second]))
+        assert np.array_equal(ftl.read(3), second)
+
+    def test_batch_exercises_in_place_path(self, scheme_name, kwargs) -> None:
+        ftl = make_ftl(scheme_name, **kwargs)
+        rng = np.random.default_rng(2)
+        bits = ftl.dataword_bits
+        lpns = [0, 1, 2, 3]
+        ftl.write_batch(lpns, rand_batch(rng, 4, bits))  # maps the pages
+        assert ftl.stats.in_place_rewrites == 0
+        ftl.write_batch(lpns, rand_batch(rng, 4, bits))  # now all in place
+        assert ftl.stats.in_place_rewrites == 4
+
+
+class TestWriteBatchValidation:
+    def test_rejects_wrong_width(self) -> None:
+        ftl = make_ftl("wom")
+        with pytest.raises(CodingError):
+            ftl.write_batch([0, 1], np.zeros((2, 5), dtype=np.uint8))
+
+    def test_rejects_mismatched_lane_count(self) -> None:
+        ftl = make_ftl("wom")
+        with pytest.raises(CodingError):
+            ftl.write_batch(
+                [0], np.zeros((2, ftl.dataword_bits), dtype=np.uint8)
+            )
