@@ -7,6 +7,8 @@ These benches use multiple rounds (they are fast per call).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -53,6 +55,79 @@ def test_bench_viterbi_encode(benchmark, perf_recorder, code, warm_page) -> None
         mean_seconds=mean,
         writes_per_sec=1 / mean,
         cells_per_sec=code.varray.num_cells / mean,
+    )
+
+
+def _reference_search_batch(viterbi, reps, levels):
+    """The pre-optimization kernel (radix-2 float64 ACS), kept as the yardstick."""
+    trellis = viterbi.trellis
+    lanes, steps = reps.shape
+    step_costs = viterbi.step_cost_table(levels)
+    lane_index = np.arange(lanes)
+    lane_grid = lane_index[:, None, None]
+    path = np.zeros((lanes, trellis.num_states))
+    backptr = np.empty((lanes, steps, trellis.num_states), dtype=np.uint8)
+    for t in range(steps):
+        gather = viterbi._xor_gather[reps[:, t]]
+        branch = step_costs[:, t][lane_grid, gather]
+        incoming = path[:, trellis.prev_state] + branch
+        lower = incoming[:, :, 1] < incoming[:, :, 0]
+        path = np.where(lower, incoming[:, :, 1], incoming[:, :, 0])
+        backptr[:, t] = lower
+    end_state = np.argmin(path, axis=1)
+    total_costs = path[lane_index, end_state]
+    codeword_values = np.empty((lanes, steps), dtype=np.int64)
+    state = end_state.astype(np.int64)
+    for t in range(steps - 1, -1, -1):
+        choice = backptr[lane_index, t, state]
+        source = trellis.prev_state[state, choice].astype(np.int64)
+        u = trellis.prev_input[state, choice]
+        codeword_values[:, t] = trellis.output_values[source, u] ^ reps[:, t]
+        state = source
+    return codeword_values, total_costs
+
+
+def test_bench_viterbi_kernel_speedup(perf_recorder, code) -> None:
+    """The radix-4 kernel must hold >= 2x over the historical kernel.
+
+    Ratio-based (both kernels timed on this machine) so the bar is
+    meaningful regardless of CI hardware; bit-identity of the outputs is
+    asserted on the same inputs.
+    """
+    viterbi = code.viterbi
+    rng = np.random.default_rng(7)
+    steps = code.steps
+    reps = rng.integers(0, viterbi.num_values, (1, steps))
+    levels = rng.integers(
+        0, viterbi.codebook.num_levels - 1, (1, steps, viterbi.cells_per_step)
+    )
+
+    def best_of(fn, rounds: int = 3) -> float:
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    new_result = viterbi.search_batch(reps, levels)  # warm-up + output
+    ref_values, ref_costs = _reference_search_batch(viterbi, reps, levels)
+    assert np.array_equal(new_result.codeword_values, ref_values)
+    assert np.array_equal(new_result.total_costs, ref_costs)
+    new_seconds = best_of(lambda: viterbi.search_batch(reps, levels))
+    ref_seconds = best_of(lambda: _reference_search_batch(viterbi, reps, levels))
+    speedup = ref_seconds / new_seconds
+    perf_recorder.record(
+        "viterbi-kernel-speedup-4KB",
+        steps=steps,
+        num_states=viterbi.trellis.num_states,
+        reference_seconds=ref_seconds,
+        kernel_seconds=new_seconds,
+        speedup=speedup,
+    )
+    assert speedup >= 2.0, (
+        f"radix-4 kernel only {speedup:.2f}x the historical kernel "
+        f"(required 2x)"
     )
 
 

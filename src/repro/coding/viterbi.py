@@ -13,6 +13,29 @@ independent pages in lockstep with path metrics of shape
 wrapper.  Lanes whose coset has no writable member are reported through
 :attr:`ViterbiBatchResult.writable` instead of an exception, so one
 saturated page never aborts the whole batch.
+
+Kernel layout
+-------------
+The add-compare-select recursion is sequential in trellis steps, so for the
+small state counts the paper uses (64 states at K=7) the wall clock is
+dominated by Python-level dispatch, not arithmetic.  The kernel therefore
+minimizes work per step three ways:
+
+* branch costs for whole slabs of steps are gathered into a contiguous
+  ``(steps, B, 2 * states)`` tensor *before* the step loop, so the loop
+  body never touches the codebook or the XOR tables;
+* when every finite metric cost is a non-negative integer (true for the
+  paper's metric and both ablations), two trellis steps are folded into one
+  radix-4 iteration over precomputed two-step predecessor tables — exact,
+  because integer-valued float sums are associative — and path metrics drop
+  to float32 whenever the worst-case total fits its 2**24 exact-integer
+  range;
+* the backtrace walks states only (one gather per step); codeword chunks
+  are reconstructed from the state sequence in one vectorized pass.
+
+Non-integral metrics fall back to a float64 radix-2 loop that reproduces
+the historical arithmetic operation for operation, so results are
+bit-identical for every metric either way.
 """
 
 from __future__ import annotations
@@ -26,6 +49,12 @@ from repro.coding.cost import CellCodebook
 from repro.errors import ConfigurationError, UnwritableError
 
 __all__ = ["CosetViterbi", "ViterbiResult", "ViterbiBatchResult"]
+
+#: Branch-cost slabs are precomputed in chunks of roughly this many bytes so
+#: the hoisted gather stays cache-friendly without ballooning memory when
+#: both the batch and the page are large.
+_CHUNK_BYTES = 8 << 20
+
 
 
 @dataclass(frozen=True)
@@ -101,22 +130,121 @@ class CosetViterbi:
         self.codebook = codebook
         self.cells_per_step = m // codebook.bits_per_cell
         self.num_values = 1 << m
+        num_states = trellis.num_states
         # symbol_of_value[v, i] = the i-th cell's symbol within packed chunk v.
         values = np.arange(self.num_values, dtype=np.int64)
         shifts = np.arange(self.cells_per_step, dtype=np.int64) * codebook.bits_per_cell
         mask = (1 << codebook.bits_per_cell) - 1
         self.symbol_of_value = (values[:, None] >> shifts[None, :]) & mask
         # Branch outputs gathered at each state's predecessors: lets the
-        # hot loop compute incoming costs with two gathers per step.
+        # branch-cost slab be built with two gathers per chunk of steps.
         self._pred_output = trellis.output_values[
             trellis.prev_state, trellis.prev_input
         ]
         # xor_gather[v, s, k] = pred_output[s, k] ^ v for every packed chunk
-        # value, so each trellis step is a pure table gather with no XOR
-        # broadcasting in the hot loop.
+        # value, so branch costs are a pure table gather with no XOR
+        # broadcasting anywhere near the hot loop.
         self._xor_gather = (
             self._pred_output[None, :, :] ^ values[:, None, None]
         ).astype(np.int64)
+        # Flat predecessor-major layout j = k * num_states + s shared by the
+        # branch slabs, the path-metric gathers, and the pair-folding below.
+        self._xg_flat = np.ascontiguousarray(
+            self._xor_gather.transpose(0, 2, 1).reshape(
+                self.num_values, 2 * num_states
+            )
+        )
+        prev = trellis.prev_state.astype(np.int64)
+        self._prev_src = prev
+        self._prev_input = trellis.prev_input.astype(np.int64)
+        self._out_values = trellis.output_values.astype(np.int64)
+        self._prev_flat = np.ascontiguousarray(prev.T).reshape(-1).astype(np.intp)
+        # Radix-4 tables: one iteration consumes two trellis steps; the
+        # choice pair kk = 2*k1 + k0 first takes predecessor k1 at the later
+        # step (reaching the "mid" state), then k0 at the earlier one.  kk
+        # ascending matches the radix-2 tie-breaking exactly: ties prefer
+        # k1 = 0 first (strict-less update), then k0 = 0 (first minimum).
+        kk = np.arange(4)
+        k1, k0 = kk >> 1, kk & 1
+        self._mid_tab = prev[:, k1]  # (S, 4)
+        self._src_tab = prev[self._mid_tab, k0[None, :]]  # (S, 4)
+        self._prev2_flat = (
+            np.ascontiguousarray(self._src_tab.T).reshape(-1).astype(np.intp)
+        )
+        # Plain nested lists for the single-lane backtrace: at B = 1 a pure
+        # Python state walk beats batched fancy indexing by a wide margin.
+        self._mid_list = self._mid_tab.tolist()
+        self._src_list = self._src_tab.tolist()
+        self._prev_list = prev.tolist()
+        s_grid = np.arange(num_states)
+        # Fold two branch slabs into the radix-4 slab: entry j2 = kk*S + s
+        # sums the later step's (k1, s) branch and the earlier step's
+        # (k0, mid) branch.
+        self._pair_idx_late = (
+            k1[:, None] * num_states + s_grid[None, :]
+        ).reshape(-1)
+        self._pair_idx_early = (
+            k0[:, None] * num_states + self._mid_tab.T
+        ).reshape(-1)
+        # Composed radix-4 gather tables: entry [v, kk*S + s] is the flat
+        # cost-row index of the branch chosen by (kk, s) when the step's
+        # coset chunk is v — the XOR table and the pair fold in one lookup.
+        self._xg2_late = np.ascontiguousarray(
+            self._xg_flat[:, self._pair_idx_late], dtype=np.int32
+        )
+        self._xg2_early = np.ascontiguousarray(
+            self._xg_flat[:, self._pair_idx_early], dtype=np.int32
+        )
+        # Fused per-step cost table: cost of writing packed chunk v onto a
+        # step whose cells sit at the level combination i (base-L digits,
+        # most significant cell first).  Collapses the per-cell gather+sum
+        # of chunk_costs into one table row per step; skipped when the
+        # level-combination space is too large to tabulate.
+        num_levels = codebook.cost_table.shape[0]
+        self._num_levels = num_levels
+        if num_levels**self.cells_per_step * self.num_values <= (1 << 22):
+            combos = np.indices(
+                (num_levels,) * self.cells_per_step
+            ).reshape(self.cells_per_step, -1).T
+            fused = np.zeros((combos.shape[0], self.num_values))
+            for cell in range(self.cells_per_step):
+                fused += codebook.cost_table[
+                    combos[:, cell][:, None],
+                    self.symbol_of_value[None, :, cell],
+                ]
+            self._fused_costs = fused.astype(np.float32)
+            self._fused_flat = {
+                np.dtype(np.float32): np.ascontiguousarray(
+                    self._fused_costs.reshape(-1)
+                ),
+                np.dtype(np.float64): np.ascontiguousarray(
+                    fused.reshape(-1)
+                ),
+            }
+        else:
+            self._fused_costs = None
+            self._fused_flat = None
+        # Exact-arithmetic guards.  Folding two steps regroups float adds,
+        # and float32 narrows them; both are only exact when every finite
+        # cost is a non-negative integer (sums of exact integers below the
+        # mantissa limit are associative and representable).
+        finite = codebook.cost_table[np.isfinite(codebook.cost_table)]
+        self._integral_costs = bool(
+            finite.size == 0
+            or ((finite >= 0).all() and (finite == np.floor(finite)).all())
+        )
+        self._max_step_cost = (
+            float(finite.max()) * self.cells_per_step if finite.size else 0.0
+        )
+        # The vectorized backtrace reads each step's input bit off the next
+        # state (u = state & 1), which holds for shift-register trellises —
+        # every registry code.  Anything else uses the generic radix-2 path.
+        expected_inputs = np.broadcast_to(
+            (np.arange(num_states) & 1)[:, None], trellis.prev_input.shape
+        )
+        self._shift_register_inputs = bool(
+            np.array_equal(trellis.prev_input, expected_inputs)
+        )
 
     def step_cost_table(self, step_levels: np.ndarray) -> np.ndarray:
         """Cost of writing each packed chunk value at each step.
@@ -173,11 +301,11 @@ class CosetViterbi:
             ``(B, steps, cells_per_step)`` current v-cell levels per lane.
 
         The add-compare-select recursion and the backtrace are vectorized
-        over the batch axis; the only Python loop is over trellis steps.
-        Unwritable lanes are flagged in the result mask instead of raising,
-        so callers can recycle those pages and keep the batch going.
+        over the batch axis; the only Python loop is over trellis steps
+        (two at a time on the radix-4 fast path).  Unwritable lanes are
+        flagged in the result mask instead of raising, so callers can
+        recycle those pages and keep the batch going.
         """
-        trellis = self.trellis
         reps = np.asarray(representative_values, dtype=np.int64)
         if reps.ndim != 2:
             raise ConfigurationError(
@@ -191,39 +319,29 @@ class CosetViterbi:
                 f"step_levels must be ({lanes}, {steps}, "
                 f"{self.cells_per_step}), got {levels.shape}"
             )
-        step_costs = self.step_cost_table(levels)  # (B, steps, 2**m)
-        num_states = trellis.num_states
-        output_values = trellis.output_values
-        prev_state = trellis.prev_state
-        prev_input = trellis.prev_input
-        xor_gather = self._xor_gather
         lane_index = np.arange(lanes)
-        lane_grid = lane_index[:, None, None]
-        # Free initial state: the encoder may start anywhere; the first
-        # 2*memory syndrome steps are guard (don't-care) data so the choice
-        # never corrupts decoding (see ConvolutionalCosetCode.guard_steps).
-        path = np.zeros((lanes, num_states))
-        backptr = np.empty((lanes, steps, num_states), dtype=np.uint8)
-        for t in range(steps):
-            # incoming[b, s', k] = cost of lane b reaching s' via its k-th
-            # predecessor.
-            gather = xor_gather[reps[:, t]]  # (B, S, 2)
-            branch = step_costs[:, t][lane_grid, gather]
-            incoming = path[:, prev_state] + branch
-            lower = incoming[:, :, 1] < incoming[:, :, 0]
-            path = np.where(lower, incoming[:, :, 1], incoming[:, :, 0])
-            backptr[:, t] = lower
-        end_state = np.argmin(path, axis=1)
-        total_costs = path[lane_index, end_state]
+        if self._integral_costs and self._shift_register_inputs and steps >= 2:
+            dtype = (
+                np.float32
+                if steps * self._max_step_cost <= float(2**24 - 1)
+                else np.float64
+            )
+            path, backptr2, backptr_tail = self._forward_radix4(
+                reps, levels, dtype
+            )
+            end_state = np.argmin(path, axis=1)
+            total_costs = path[lane_index, end_state].astype(np.float64)
+            codeword_values = self._backtrace_radix4(
+                reps, end_state, backptr2, backptr_tail, lane_index
+            )
+        else:
+            path, backptr = self._forward_radix2(reps, levels)
+            end_state = np.argmin(path, axis=1)
+            total_costs = path[lane_index, end_state]
+            codeword_values = self._backtrace_radix2(
+                reps, end_state, backptr, lane_index
+            )
         writable = np.isfinite(total_costs)
-        codeword_values = np.empty((lanes, steps), dtype=np.int64)
-        state = end_state.astype(np.int64)
-        for t in range(steps - 1, -1, -1):
-            choice = backptr[lane_index, t, state]
-            source = prev_state[state, choice].astype(np.int64)
-            u = prev_input[state, choice]
-            codeword_values[:, t] = output_values[source, u] ^ reps[:, t]
-            state = source
         symbols = self.symbol_of_value[codeword_values]  # (B, steps, cells)
         target_levels = self.codebook.chunk_targets(levels, symbols)
         return ViterbiBatchResult(
@@ -232,3 +350,226 @@ class CosetViterbi:
             total_costs=total_costs,
             writable=writable,
         )
+
+    # -- hoisted branch-cost slabs ---------------------------------------------
+
+    def _branch_chunks(self, reps, levels, dtype):
+        """Yield contiguous branch-cost slabs covering the whole trellis.
+
+        Each item is ``(first_step, branch)`` where ``branch`` has shape
+        ``(B, chunk, 2 * states)``: entry ``[b, i, k*S + s]`` is the cost of
+        lane ``b`` reaching state ``s`` at step ``first_step + i`` via
+        predecessor ``k``.  Chunks are even-length (except possibly the
+        last) so radix-4 pairs never straddle a chunk boundary.
+        """
+        lanes, steps = reps.shape
+        row_bytes = 2 * self.trellis.num_states * lanes * 8
+        chunk = max(2, _CHUNK_BYTES // max(row_bytes, 1))
+        chunk -= chunk % 2
+        for t0 in range(0, steps, chunk):
+            t1 = min(steps, t0 + chunk)
+            costs = self.step_cost_table(levels[:, t0:t1])  # (B, c, 2**m)
+            gather = self._xg_flat[reps[:, t0:t1]]  # (B, c, 2S)
+            # One flat gather instead of take_along_axis: row r of the
+            # flattened (B * c, 2**m) cost table starts at r * 2**m.
+            rows = lanes * gather.shape[1]
+            gather += (
+                np.arange(rows, dtype=np.int64) * self.num_values
+            ).reshape(lanes, -1, 1)
+            branch = costs.reshape(-1).take(gather)
+            yield t0, branch.astype(dtype, copy=False)
+
+    # -- radix-4 fast path (integral metrics, shift-register trellis) ----------
+
+    def _forward_radix4(self, reps, levels, dtype):
+        """ACS over two trellis steps per iteration; exact for integer costs.
+
+        The four-way compare-select is pure elementwise ufuncs with ``out=``
+        targets (``argmin`` is an order of magnitude slower on these shapes
+        at every axis layout), and the backpointers are three boolean planes
+        per pair written directly by the comparisons:
+
+        * ``sel[p]``  — the winning choice came from the ``kk >= 2`` pair,
+        * ``low01[p]`` / ``low23[p]`` — the winner within each pair,
+
+        so ``kk = 2 + low23 if sel else low01``.  Strict-less comparisons
+        reproduce ``argmin``'s first-occurrence tie-breaking, which in turn
+        matches the sequential radix-2 recursion exactly.
+        """
+        lanes, steps = reps.shape
+        num_states = self.trellis.num_states
+        n_pairs = steps // 2
+        path = np.zeros((lanes, num_states), dtype=dtype)
+        sel = np.empty((n_pairs, lanes, num_states), dtype=bool)
+        low01 = np.empty((n_pairs, lanes, num_states), dtype=bool)
+        low23 = np.empty((n_pairs, lanes, num_states), dtype=bool)
+        backptr_tail = (
+            np.empty((lanes, num_states), dtype=bool) if steps % 2 else None
+        )
+        inc4 = np.empty((lanes, 4, num_states), dtype=dtype)
+        inc4_flat = inc4.reshape(lanes, 4 * num_states)
+        cand0, cand1, cand2, cand3 = (inc4[:, kk, :] for kk in range(4))
+        min01 = np.empty((lanes, num_states), dtype=dtype)
+        min23 = np.empty((lanes, num_states), dtype=dtype)
+        # The lone tail step of an odd-length trellis reuses the front half
+        # of the radix-4 buffer as its (B, 2, S) workspace.
+        inc2 = inc4[:, :2, :]
+        inc2_flat = inc4_flat[:, : 2 * num_states]
+        take_path = path.take
+        prev2_flat = self._prev2_flat
+        row_bytes = 2 * num_states * lanes * 8
+        chunk = max(2, _CHUNK_BYTES // max(row_bytes, 1))
+        chunk -= chunk % 2
+        pair = 0
+        for t0 in range(0, steps, chunk):
+            t1 = min(steps, t0 + chunk)
+            span = t1 - t0
+            chunk_pairs = span // 2
+            if self._fused_flat is not None:
+                # Gather straight from the (level combos, 2**m) fused table
+                # — it is tiny, so every lookup is a cache hit.
+                costs_flat = self._fused_flat[np.dtype(dtype)]
+                level_rows = levels[:, t0:t1, 0]
+                for cell in range(1, self.cells_per_step):
+                    level_rows = (
+                        level_rows * self._num_levels
+                        + levels[:, t0:t1, cell]
+                    )
+                level_rows = (level_rows * self.num_values).astype(np.int32)
+                late_off = level_rows[:, 1::2].T[:, :, None]
+                early_off = level_rows[:, 0 : span - (span % 2) : 2].T[
+                    :, :, None
+                ]
+                tail_off = level_rows[:, span - 1]
+            else:
+                # (B * span, 2**m) cost rows for this chunk of steps,
+                # flattened so the composed gathers below index directly.
+                costs_flat = self._chunk_costs_flat(levels[:, t0:t1], dtype)
+                lane_base = np.arange(lanes, dtype=np.int32) * (
+                    span * self.num_values
+                )
+                step_off = (
+                    np.arange(chunk_pairs, dtype=np.int32)
+                    * (2 * self.num_values)
+                )[:, None] + lane_base[None, :]
+                late_off = (step_off + self.num_values)[:, :, None]
+                early_off = step_off[:, :, None]
+                tail_off = lane_base + (span - 1) * self.num_values
+            if chunk_pairs:
+                # Fold the two steps of each pair at gather time: one take
+                # per half-step slab, no intermediate 2S-wide branch tensor.
+                late = self._xg2_late[reps[:, t0 + 1 : t1 : 2].T]
+                early = self._xg2_early[reps[:, t0 : t1 - (span % 2) : 2].T]
+                late += late_off
+                early += early_off
+                folded = costs_flat.take(late)
+                folded += costs_flat.take(early)
+                for i in range(chunk_pairs):
+                    take_path(prev2_flat, axis=1, out=inc4_flat)
+                    inc4_flat += folded[i]
+                    np.less(cand1, cand0, out=low01[pair])
+                    np.less(cand3, cand2, out=low23[pair])
+                    np.minimum(cand0, cand1, out=min01)
+                    np.minimum(cand2, cand3, out=min23)
+                    np.less(min23, min01, out=sel[pair])
+                    np.minimum(min01, min23, out=path)
+                    pair += 1
+            if span % 2:  # only the final chunk of an odd-length trellis
+                tail_idx = self._xg_flat[reps[:, t1 - 1]] + tail_off[:, None]
+                take_path(self._prev_flat, axis=1, out=inc2_flat)
+                inc2_flat += costs_flat.take(tail_idx)
+                np.less(inc2[:, 1], inc2[:, 0], out=backptr_tail)
+                np.minimum(inc2[:, 0], inc2[:, 1], out=path)
+        return path, (sel, low01, low23), backptr_tail
+
+    def _chunk_costs_flat(self, levels_chunk, dtype):
+        """``(B * span, 2**m)`` contiguous cost rows for a chunk of steps."""
+        costs = self.step_cost_table(levels_chunk)
+        return np.ascontiguousarray(
+            costs.reshape(-1, self.num_values), dtype=dtype
+        )
+
+    def _backtrace_radix4(
+        self, reps, end_state, backptr2, backptr_tail, lane_index
+    ):
+        """Walk states backward, then rebuild all codeword chunks at once."""
+        lanes, steps = reps.shape
+        sel, low01, low23 = backptr2
+        if lanes == 1:
+            seq = [0] * steps
+            state = int(end_state[0])
+            if backptr_tail is not None:
+                state = self._prev_list[state][int(backptr_tail[0, state])]
+                seq[steps - 1] = state
+            sel_item, low01_item, low23_item = sel.item, low01.item, low23.item
+            mid_list, src_list = self._mid_list, self._src_list
+            for pair in range(steps // 2 - 1, -1, -1):
+                if sel_item(pair, 0, state):
+                    kk = 2 + low23_item(pair, 0, state)
+                else:
+                    kk = low01_item(pair, 0, state)
+                row_mid, row_src = mid_list[state], src_list[state]
+                seq[2 * pair + 1] = row_mid[kk]
+                state = row_src[kk]
+                seq[2 * pair] = state
+            before = np.array(seq, dtype=np.int64)[None, :]
+        else:
+            sel_u = sel.view(np.uint8)
+            low01_u = low01.view(np.uint8)
+            low23_u = low23.view(np.uint8)
+            before = np.empty((lanes, steps), dtype=np.int64)
+            state = end_state.astype(np.int64)
+            if backptr_tail is not None:
+                choice = backptr_tail.view(np.uint8)[lane_index, state]
+                before[:, steps - 1] = state = self._prev_src[state, choice]
+            for pair in range(steps // 2 - 1, -1, -1):
+                t = 2 * pair
+                chose23 = sel_u[pair, lane_index, state]
+                kk = np.where(
+                    chose23,
+                    2 + low23_u[pair, lane_index, state],
+                    low01_u[pair, lane_index, state],
+                )
+                before[:, t + 1] = self._mid_tab[state, kk]
+                before[:, t] = state = self._src_tab[state, kk]
+        after = np.empty_like(before)
+        after[:, :-1] = before[:, 1:]
+        after[:, -1] = end_state
+        # Shift-register labeling: the input consumed entering a state is
+        # its low bit (validated in __init__ before taking this path).
+        return self._out_values[before, after & 1] ^ reps
+
+    # -- generic radix-2 path (any metric, any 2-regular trellis) --------------
+
+    def _forward_radix2(self, reps, levels):
+        """One trellis step per iteration in float64 — the historical
+        arithmetic, preserved exactly for non-integral metrics."""
+        lanes, steps = reps.shape
+        num_states = self.trellis.num_states
+        path = np.zeros((lanes, num_states), dtype=np.float64)
+        backptr = np.empty((steps, lanes, num_states), dtype=bool)
+        inc = np.empty((lanes, 2, num_states), dtype=np.float64)
+        inc_flat = inc.reshape(lanes, 2 * num_states)
+        take_path = path.take
+        prev_flat = self._prev_flat
+        for t0, branch in self._branch_chunks(reps, levels, np.float64):
+            slab = np.ascontiguousarray(branch.transpose(1, 0, 2))
+            for i in range(slab.shape[0]):
+                take_path(prev_flat, axis=1, out=inc_flat)
+                inc_flat += slab[i]
+                np.less(inc[:, 1], inc[:, 0], out=backptr[t0 + i])
+                np.minimum(inc[:, 0], inc[:, 1], out=path)
+        return path, backptr
+
+    def _backtrace_radix2(self, reps, end_state, backptr, lane_index):
+        lanes, steps = reps.shape
+        choices = backptr.view(np.uint8)
+        codeword_values = np.empty((lanes, steps), dtype=np.int64)
+        state = end_state.astype(np.int64)
+        for t in range(steps - 1, -1, -1):
+            choice = choices[t, lane_index, state]
+            source = self._prev_src[state, choice]
+            u = self._prev_input[state, choice]
+            codeword_values[:, t] = self._out_values[source, u] ^ reps[:, t]
+            state = source
+        return codeword_values

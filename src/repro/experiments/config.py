@@ -7,7 +7,9 @@ page and fewer erase cycles; both are overridable:
 * ``REPRO_PAGE_BYTES`` — page size in bytes (paper: 4096),
 * ``REPRO_CYCLES`` — erase cycles averaged per scheme,
 * ``REPRO_CONSTRAINT_LENGTH`` — trellis size for the MFC coset codes,
-* ``REPRO_LANES`` — concurrent pages per simulation (batched engine).
+* ``REPRO_LANES`` — concurrent pages per simulation (batched engine),
+* ``REPRO_JOBS`` — worker processes for sweep fan-out (1 = in-process),
+* ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
 
 ``lanes=1`` (the default) reproduces the historical scalar numbers bit for
 bit; larger lane counts run ``lanes`` independently seeded pages through
@@ -36,6 +38,8 @@ class ExperimentConfig:
     seed: int = 2016  # the paper's year; any fixed seed works
     constraint_length: int = 7
     lanes: int = 1  # concurrent pages; lane i is seeded seed + i
+    jobs: int = 1  # worker processes for sweep fan-out; 1 = in-process
+    cache: bool = True  # consult/populate the on-disk result cache
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
@@ -46,6 +50,8 @@ class ExperimentConfig:
             seed=int(os.environ.get("REPRO_SEED", "2016")),
             constraint_length=int(os.environ.get("REPRO_CONSTRAINT_LENGTH", "7")),
             lanes=int(os.environ.get("REPRO_LANES", "1")),
+            jobs=int(os.environ.get("REPRO_JOBS", "1")),
+            cache=os.environ.get("REPRO_CACHE", "1") != "0",
         )
 
     @property

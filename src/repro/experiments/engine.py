@@ -21,22 +21,32 @@ from repro.core import (
 )
 from repro.experiments.config import ExperimentConfig
 
-__all__ = ["simulate"]
+__all__ = ["simulate", "simulate_lanes"]
+
+
+def simulate_lanes(
+    scheme: RewritingScheme, *, cycles: int, seed: int, lanes: int = 1
+) -> LifetimeResult:
+    """Run ``scheme``'s lifetime simulation with explicit knobs.
+
+    This is the primitive the sweep fabric's worker processes call
+    (cells carry the knobs, not a full config); :func:`simulate` is its
+    config-driven wrapper.  Returns a scalar-shaped
+    :class:`~repro.core.lifetime.LifetimeResult` either way; batched runs
+    pool all lanes' cycles into it.
+    """
+    if lanes <= 1:
+        return LifetimeSimulator(scheme, seed=seed).run(cycles=cycles)
+    batch = BatchLifetimeSimulator(scheme, lanes=lanes, seed=seed).run(
+        cycles=cycles
+    )
+    return batch.merged()
 
 
 def simulate(
     scheme: RewritingScheme, config: ExperimentConfig
 ) -> LifetimeResult:
-    """Run ``scheme``'s lifetime simulation under ``config``.
-
-    Returns a scalar-shaped :class:`~repro.core.lifetime.LifetimeResult`
-    either way; batched runs pool all lanes' cycles into it.
-    """
-    if config.lanes <= 1:
-        return LifetimeSimulator(scheme, seed=config.seed).run(
-            cycles=config.cycles
-        )
-    batch = BatchLifetimeSimulator(
-        scheme, lanes=config.lanes, seed=config.seed
-    ).run(cycles=config.cycles)
-    return batch.merged()
+    """Run ``scheme``'s lifetime simulation under ``config``."""
+    return simulate_lanes(
+        scheme, cycles=config.cycles, seed=config.seed, lanes=config.lanes
+    )

@@ -9,39 +9,38 @@ anchor).
 
 from __future__ import annotations
 
-from repro.core import (
-    EccMfcScheme,
-    LifetimeSimulator,
-    MfcScheme,
-    RankModulationScheme,
-    SchemeSummary,
-    WaterfallScheme,
-)
+from repro.core import SchemeSummary
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.pool import cell_for, run_cells
 
 __all__ = ["run_extensions", "format_extensions"]
 
 
 def run_extensions(config: ExperimentConfig | None = None) -> list[SchemeSummary]:
-    """Lifetime/rate/aggregate rows for the extension schemes."""
+    """Lifetime/rate/aggregate rows for the extension schemes.
+
+    Decomposed into named sweep cells so the runs fan out and cache like
+    every other experiment (``lanes=1`` reproduces the historical direct
+    :class:`~repro.core.lifetime.LifetimeSimulator` numbers bit for bit).
+    """
     config = config or ExperimentConfig.from_env()
     k = min(config.constraint_length, 4)  # ECC interleaving likes small K
-    schemes = [
-        WaterfallScheme(config.page_bits),
-        MfcScheme("mfc-1/2-1bpc", config.page_bits,
-                  constraint_length=config.constraint_length),
-        MfcScheme("mfc-1/2-1bpc", config.page_bits,
-                  constraint_length=config.constraint_length, vcell_levels=8),
-        EccMfcScheme(config.page_bits, constraint_length=k),
-        RankModulationScheme(config.page_bits),
+    cells = [
+        cell_for("waterfall", config),
+        cell_for(
+            "mfc-1/2-1bpc", config, constraint_length=config.constraint_length
+        ),
+        cell_for(
+            "mfc-1/2-1bpc",
+            config,
+            constraint_length=config.constraint_length,
+            vcell_levels=8,
+        ),
+        cell_for("mfc-ecc", config, constraint_length=k),
+        cell_for("rank-modulation", config),
     ]
-    rows = []
-    for scheme in schemes:
-        result = LifetimeSimulator(scheme, seed=config.seed).run(
-            cycles=config.cycles
-        )
-        rows.append(SchemeSummary.from_result(result))
-    return rows
+    results = run_cells(cells, config)
+    return [SchemeSummary.from_result(result) for result in results]
 
 
 def format_extensions(rows: list[SchemeSummary]) -> str:

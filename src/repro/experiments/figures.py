@@ -7,11 +7,10 @@ import numpy as np
 from repro.core import (
     TradeoffRectangle,
     cost_to_achieve,
-    make_scheme,
     rectangle_for,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import simulate
+from repro.experiments.pool import cell_for, run_cells
 from repro.experiments.table1 import run_table1
 
 __all__ = [
@@ -100,7 +99,7 @@ def fig14_data(
             for size in (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
             if size <= ceiling
         )
-    series: dict[str, list[tuple[int, float]]] = {name: [] for name in FIG14_SCHEMES}
+    cells, labels = [], []
     for page_bytes in page_bytes_values:
         for name in FIG14_SCHEMES:
             kwargs = (
@@ -108,9 +107,14 @@ def fig14_data(
                 if name.startswith("mfc")
                 else {}
             )
-            scheme = make_scheme(name, page_bits=page_bytes * 8, **kwargs)
-            result = simulate(scheme, config)
-            series[name].append((page_bytes, result.lifetime_gain))
+            cells.append(
+                cell_for(name, config, page_bits=page_bytes * 8, **kwargs)
+            )
+            labels.append((page_bytes, name))
+    results = run_cells(cells, config)
+    series: dict[str, list[tuple[int, float]]] = {name: [] for name in FIG14_SCHEMES}
+    for (page_bytes, name), result in zip(labels, results):
+        series[name].append((page_bytes, result.lifetime_gain))
     return series
 
 
@@ -123,8 +127,7 @@ def _traced_run(config: ExperimentConfig, name: str):
         if name.startswith("mfc")
         else {}
     )
-    scheme = make_scheme(name, page_bits=config.page_bits, **kwargs)
-    return simulate(scheme, config)
+    return run_cells([cell_for(name, config, **kwargs)], config)[0]
 
 
 def fig15_data(

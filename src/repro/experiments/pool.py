@@ -1,0 +1,140 @@
+"""Parallel sweep executor: experiments as independent, cacheable cells.
+
+Every experiment driver (Table I, Figs. 1/11-16, extensions) decomposes
+into independent *cells* — one ``(scheme name, page_bits, kwargs, cycles,
+seed, lanes)`` tuple per simulated scheme instance.  A cell carries
+everything needed to rebuild its scheme via
+:func:`~repro.core.factory.make_scheme` in another process, so the fabric
+can fan cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``--jobs N`` / ``REPRO_JOBS``) while the driver stays a plain list
+comprehension.
+
+Determinism is structural: each cell's seed is bound at decomposition
+time (not derived from completion order), and :func:`run_cells` returns
+results in submission order regardless of which worker finishes first —
+``--jobs 4`` output is byte-identical to ``--jobs 1``.
+
+Cells are also the unit of caching: :func:`cell_key` hashes the cell
+together with the :func:`~repro.cache.code_fingerprint`, so warm reruns
+skip simulation entirely (see :mod:`repro.cache`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.cache import ResultCache, cache_key, code_fingerprint, get_default_cache
+from repro.core import LifetimeResult, make_scheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import simulate_lanes
+
+__all__ = ["SweepCell", "cell_for", "cell_key", "run_cell", "run_cells"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of simulation work.
+
+    Frozen and built from primitives only, so instances pickle cheaply to
+    worker processes and hash stably into cache keys.
+    """
+
+    scheme: str
+    page_bits: int
+    cycles: int
+    seed: int
+    lanes: int = 1
+    #: Extra ``make_scheme`` keyword arguments as sorted ``(name, value)``
+    #: pairs (tuples hash; dicts don't).
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+
+def cell_for(
+    name: str,
+    config: ExperimentConfig,
+    page_bits: int | None = None,
+    **kwargs,
+) -> SweepCell:
+    """A cell for ``name`` under ``config``, with optional overrides."""
+    return SweepCell(
+        scheme=name,
+        page_bits=config.page_bits if page_bits is None else page_bits,
+        cycles=config.cycles,
+        seed=config.seed,
+        lanes=config.lanes,
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Content address of a cell's result (includes the code fingerprint)."""
+    return cache_key(
+        {
+            "kind": "lifetime-cell",
+            "scheme": cell.scheme,
+            "page_bits": cell.page_bits,
+            "cycles": cell.cycles,
+            "seed": cell.seed,
+            "lanes": cell.lanes,
+            "kwargs": [[key, value] for key, value in cell.kwargs],
+            "code": code_fingerprint(),
+        }
+    )
+
+
+def run_cell(cell: SweepCell) -> LifetimeResult:
+    """Simulate one cell (module-level so it pickles to pool workers)."""
+    scheme = make_scheme(
+        cell.scheme, page_bits=cell.page_bits, **dict(cell.kwargs)
+    )
+    return simulate_lanes(
+        scheme, cycles=cell.cycles, seed=cell.seed, lanes=cell.lanes
+    )
+
+
+def run_cells(
+    cells: list[SweepCell],
+    config: ExperimentConfig | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | bool = None,
+) -> list[LifetimeResult]:
+    """Run cells — cache-aware, optionally across processes.
+
+    Results come back in the order of ``cells`` no matter which worker
+    finishes first.  ``jobs`` defaults to ``config.jobs``; ``cache=None``
+    uses the default cache when ``config.cache`` is set, ``cache=False``
+    disables it, and an explicit :class:`~repro.cache.ResultCache` is used
+    as-is.  Cache reads/writes happen only in the parent process, so
+    workers stay write-free and the stats counters stay coherent.
+    """
+    config = config or ExperimentConfig.from_env()
+    if jobs is None:
+        jobs = config.jobs
+    if cache is None:
+        cache = get_default_cache() if config.cache else None
+    elif cache is False:
+        cache = None
+    results: list[LifetimeResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        hit = cache.get(cell_key(cell)) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(run_cell, cells[index]): index for index in pending
+            }
+            for future in as_completed(futures):
+                results[futures[future]] = future.result()
+    else:
+        for index in pending:
+            results[index] = run_cell(cells[index])
+    if cache is not None:
+        for index in pending:
+            cache.put(cell_key(cells[index]), results[index])
+    return results

@@ -4,8 +4,8 @@ Examples::
 
     python -m repro.experiments table1
     python -m repro.experiments table1 --page-bytes 4096 --cycles 5
-    python -m repro.experiments fig14
-    python -m repro.experiments all
+    python -m repro.experiments fig14 --jobs 4
+    python -m repro.experiments all --no-cache
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ import argparse
 import sys
 import time
 
+from repro.cache import get_default_cache
 from repro.experiments import extensions, figures, table1
 from repro.experiments.config import ExperimentConfig
 
@@ -74,6 +75,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lanes", type=int, default=defaults.lanes,
                         help="concurrent pages per simulation (batched "
                              "engine; 1 = historical scalar numbers)")
+    parser.add_argument("--jobs", type=int, default=defaults.jobs,
+                        help="worker processes for the sweep fan-out "
+                             "(1 = in-process; output is identical for any N)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        default=defaults.cache,
+                        help="skip the on-disk result cache entirely")
     args = parser.parse_args(argv)
     config = ExperimentConfig(
         page_bytes=args.page_bytes,
@@ -81,9 +88,13 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         constraint_length=args.constraint_length,
         lanes=args.lanes,
+        jobs=args.jobs,
+        cache=args.cache,
     )
+    cache = get_default_cache() if config.cache else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
+        before = cache.stats.snapshot() if cache is not None else None
         start = time.time()
         output = _run_one(name, config)
         elapsed = time.time() - start
@@ -91,6 +102,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
               f"K={config.constraint_length}{lanes_note}, {elapsed:.1f}s) ===")
         print(output)
+        if cache is not None:
+            delta = cache.stats.since(before)
+            cache_note = (
+                f"cache: {delta.hits} hits, {delta.misses} misses "
+                f"({cache.root})"
+            )
+        else:
+            cache_note = "cache: disabled"
+        print(f"[{name}] wall {elapsed:.2f}s, jobs={config.jobs}, {cache_note}")
         print()
     return 0
 

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core import SchemeSummary, make_scheme
+from repro.core import SchemeSummary
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import simulate
+from repro.experiments.pool import cell_for, run_cells
 
 __all__ = ["TABLE1_SCHEMES", "run_table1", "format_table1"]
 
@@ -31,16 +31,16 @@ def run_table1(
     anyway — they are one-line sanity checks of the whole pipeline.
     """
     config = config or ExperimentConfig.from_env()
-    rows = []
+    cells = []
     for name in schemes:
         kwargs = (
             {"constraint_length": config.constraint_length}
             if name.startswith("mfc") and name != "mfc-ecc"
             else {}
         )
-        scheme = make_scheme(name, page_bits=config.page_bits, **kwargs)
-        rows.append(SchemeSummary.from_result(simulate(scheme, config)))
-    return rows
+        cells.append(cell_for(name, config, **kwargs))
+    results = run_cells(cells, config)
+    return [SchemeSummary.from_result(result) for result in results]
 
 
 def format_table1(rows: list[SchemeSummary]) -> str:

@@ -1,0 +1,154 @@
+"""Bit-identity of the radix-4 Viterbi kernel against the historical kernel.
+
+``_reference_search_batch`` is a faithful port of the pre-optimization
+add-compare-select loop (per-step gather, ``inc1 < inc0`` tie-break, argmin
+end state).  The production kernel folds two steps per ACS pass, runs on
+float32 metrics where exact, and backtracks through packed boolean
+backpointers — every case here asserts it still returns byte-identical
+codewords, total costs, and writability masks across all MFC rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.coset import ConvolutionalCosetCode
+from repro.core.mfc import MFC_VARIANTS
+
+
+def _reference_search_batch(viterbi, reps, levels):
+    """The PR 2 kernel, verbatim semantics: radix-2 float64 ACS + argmin."""
+    trellis = viterbi.trellis
+    lanes, steps = reps.shape
+    step_costs = viterbi.step_cost_table(levels)  # (B, steps, 2**m)
+    prev_state = trellis.prev_state
+    prev_input = trellis.prev_input
+    output_values = trellis.output_values
+    xor_gather = viterbi._xor_gather
+    lane_index = np.arange(lanes)
+    lane_grid = lane_index[:, None, None]
+    path = np.zeros((lanes, trellis.num_states))
+    backptr = np.empty((lanes, steps, trellis.num_states), dtype=np.uint8)
+    for t in range(steps):
+        gather = xor_gather[reps[:, t]]  # (B, S, 2)
+        branch = step_costs[:, t][lane_grid, gather]
+        incoming = path[:, prev_state] + branch
+        lower = incoming[:, :, 1] < incoming[:, :, 0]
+        path = np.where(lower, incoming[:, :, 1], incoming[:, :, 0])
+        backptr[:, t] = lower
+    end_state = np.argmin(path, axis=1)
+    total_costs = path[lane_index, end_state]
+    writable = np.isfinite(total_costs)
+    codeword_values = np.empty((lanes, steps), dtype=np.int64)
+    state = end_state.astype(np.int64)
+    for t in range(steps - 1, -1, -1):
+        choice = backptr[lane_index, t, state]
+        source = prev_state[state, choice].astype(np.int64)
+        u = prev_input[state, choice]
+        codeword_values[:, t] = output_values[source, u] ^ reps[:, t]
+        state = source
+    return codeword_values, total_costs, writable
+
+
+def _make_code(variant: str, constraint_length: int, vcell_levels: int = 4):
+    denominator, bits_per_cell = MFC_VARIANTS[variant]
+    return ConvolutionalCosetCode(
+        page_bits=1024,
+        rate_denominator=denominator,
+        constraint_length=constraint_length,
+        bits_per_cell=bits_per_cell,
+        vcell_levels=vcell_levels,
+    )
+
+
+def _random_case(viterbi, lanes, steps, seed, max_level):
+    rng = np.random.default_rng(seed)
+    reps = rng.integers(0, viterbi.num_values, (lanes, steps))
+    levels = rng.integers(
+        0, max_level + 1, (lanes, steps, viterbi.cells_per_step)
+    )
+    return reps, levels
+
+
+def _assert_bit_identical(viterbi, reps, levels):
+    ref_values, ref_costs, ref_writable = _reference_search_batch(
+        viterbi, reps, levels
+    )
+    result = viterbi.search_batch(reps, levels)
+    assert np.array_equal(result.writable, ref_writable)
+    assert np.array_equal(result.total_costs, ref_costs)
+    # Unwritable lanes carry no meaningful codeword; compare writable ones.
+    assert np.array_equal(
+        result.codeword_values[ref_writable], ref_values[ref_writable]
+    )
+
+
+@pytest.mark.parametrize("variant", sorted(MFC_VARIANTS))
+@pytest.mark.parametrize("constraint_length", [3, 5])
+def test_all_mfc_rates_bit_identical(variant, constraint_length) -> None:
+    code = _make_code(variant, constraint_length)
+    viterbi = code.viterbi
+    num_levels = viterbi.codebook.num_levels
+    for seed, steps in ((0, 12), (1, 11), (2, 17)):  # odd steps hit the tail
+        reps, levels = _random_case(viterbi, 5, steps, seed, num_levels - 2)
+        _assert_bit_identical(viterbi, reps, levels)
+
+
+@pytest.mark.parametrize("variant", sorted(MFC_VARIANTS))
+def test_saturated_pages_bit_identical(variant) -> None:
+    """Near-saturation levels (inf branches, unwritable lanes) still agree."""
+    code = _make_code(variant, 4)
+    viterbi = code.viterbi
+    num_levels = viterbi.codebook.num_levels
+    reps, levels = _random_case(viterbi, 8, 13, 42, num_levels - 1)
+    _assert_bit_identical(viterbi, reps, levels)
+
+
+def test_8_level_vcells_bit_identical() -> None:
+    code = _make_code("mfc-1/2-1bpc", 4, vcell_levels=8)
+    viterbi = code.viterbi
+    reps, levels = _random_case(viterbi, 4, 15, 3, 6)
+    _assert_bit_identical(viterbi, reps, levels)
+
+
+def test_single_lane_scalar_backtrace() -> None:
+    """The lanes==1 backtrace takes a dedicated scalar walk; cover it."""
+    code = _make_code("mfc-1/2-1bpc", 5)
+    viterbi = code.viterbi
+    for steps in (11, 12):
+        reps, levels = _random_case(viterbi, 1, steps, steps, 2)
+        _assert_bit_identical(viterbi, reps, levels)
+
+
+def test_generic_fallback_matches_fast_path() -> None:
+    """Forcing the generic radix-2 path returns the same bits as radix-4."""
+    code = _make_code("mfc-2/3", 4)
+    viterbi = code.viterbi
+    assert viterbi._integral_costs  # the fast path is live for MFC metrics
+    reps, levels = _random_case(viterbi, 6, 14, 9, 2)
+    fast = viterbi.search_batch(reps, levels)
+    viterbi._integral_costs = False  # non-integral metrics take this path
+    try:
+        generic = viterbi.search_batch(reps, levels)
+    finally:
+        viterbi._integral_costs = True
+    assert np.array_equal(fast.codeword_values, generic.codeword_values)
+    assert np.array_equal(fast.total_costs, generic.total_costs)
+    assert np.array_equal(fast.writable, generic.writable)
+
+
+def test_float32_metric_bound_falls_back_to_float64() -> None:
+    """Cost sums past the float32-exact bound must switch dtypes, not drift."""
+    code = _make_code("mfc-1/2-1bpc", 3)
+    viterbi = code.viterbi
+    reps, levels = _random_case(viterbi, 2, 9, 5, 2)
+    fast = viterbi.search_batch(reps, levels)
+    original = viterbi._max_step_cost
+    viterbi._max_step_cost = float(2**24)  # force the float64 branch
+    try:
+        wide = viterbi.search_batch(reps, levels)
+    finally:
+        viterbi._max_step_cost = original
+    assert np.array_equal(fast.codeword_values, wide.codeword_values)
+    assert np.array_equal(fast.total_costs, wide.total_costs)

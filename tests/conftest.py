@@ -8,6 +8,17 @@ import pytest
 from repro.flash import FlashChip, FlashGeometry, MLC, SLC, TLC
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch) -> None:
+    """Point the experiment result cache at a per-test directory.
+
+    Keeps the suite hermetic: no test reads another test's (or the
+    user's) cached simulation results, and nothing is written under the
+    real user-cache dir.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""

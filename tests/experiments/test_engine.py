@@ -1,0 +1,76 @@
+"""Tests for the batch-aware simulation entry point (`engine.simulate`)."""
+
+from __future__ import annotations
+
+from repro.core import BatchLifetimeSimulator, LifetimeSimulator, make_scheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import simulate, simulate_lanes
+
+PAGE_BITS = 768
+CYCLES = 2
+SEED = 7
+
+
+def _scheme():
+    return make_scheme("mfc-1/2-1bpc", page_bits=PAGE_BITS, constraint_length=3)
+
+
+def _config(**overrides) -> ExperimentConfig:
+    base = dict(
+        page_bytes=PAGE_BITS // 8,
+        cycles=CYCLES,
+        seed=SEED,
+        constraint_length=3,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestScalarPath:
+    def test_lanes_1_matches_direct_scalar_run(self) -> None:
+        via_engine = simulate(_scheme(), _config(lanes=1))
+        direct = LifetimeSimulator(_scheme(), seed=SEED).run(cycles=CYCLES)
+        assert via_engine.writes_per_cycle == direct.writes_per_cycle
+        assert via_engine.lifetime_gain == direct.lifetime_gain
+
+    def test_rerun_is_deterministic(self) -> None:
+        first = simulate(_scheme(), _config())
+        second = simulate(_scheme(), _config())
+        assert first.writes_per_cycle == second.writes_per_cycle
+
+
+class TestMergedPath:
+    def test_lanes_gt_1_takes_merged_batch_path(self) -> None:
+        via_engine = simulate(_scheme(), _config(lanes=3))
+        direct = (
+            BatchLifetimeSimulator(_scheme(), lanes=3, seed=SEED)
+            .run(cycles=CYCLES)
+            .merged()
+        )
+        assert via_engine.writes_per_cycle == direct.writes_per_cycle
+
+    def test_merged_sample_size_scales_with_lanes(self) -> None:
+        result = simulate(_scheme(), _config(lanes=3))
+        assert len(result.writes_per_cycle) == 3 * CYCLES
+
+    def test_lane_seed_derivation_matches_scalar_runs(self) -> None:
+        """Lane i of a batched run is the scalar run seeded ``seed + i``."""
+        merged = simulate(_scheme(), _config(lanes=2))
+        scalar_lanes = [
+            LifetimeSimulator(_scheme(), seed=SEED + lane).run(cycles=CYCLES)
+            for lane in range(2)
+        ]
+        expected = tuple(
+            count for run in scalar_lanes for count in run.writes_per_cycle
+        )
+        assert merged.writes_per_cycle == expected
+
+
+class TestSimulateLanes:
+    def test_simulate_is_the_config_wrapper(self) -> None:
+        config = _config(lanes=2)
+        direct = simulate_lanes(
+            _scheme(), cycles=config.cycles, seed=config.seed, lanes=config.lanes
+        )
+        wrapped = simulate(_scheme(), config)
+        assert direct.writes_per_cycle == wrapped.writes_per_cycle

@@ -1,0 +1,177 @@
+"""Tests for the sweep fabric: process fan-out + content-addressed cache."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cache import (
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pool import SweepCell, cell_for, cell_key, run_cell, run_cells
+from repro.experiments.runner import main
+from repro.experiments.table1 import format_table1, run_table1
+
+FAST_ARGS = ["--page-bytes", "96", "--cycles", "1", "--constraint-length", "3"]
+
+
+def _config(**overrides) -> ExperimentConfig:
+    base = dict(page_bytes=96, cycles=1, seed=11, constraint_length=3)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _cells(config: ExperimentConfig) -> list[SweepCell]:
+    return [
+        cell_for("uncoded", config),
+        cell_for("wom", config),
+        cell_for("mfc-1/2-1bpc", config, constraint_length=3),
+    ]
+
+
+class TestCacheStore:
+    def test_dir_respects_env_override(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_default_dir_is_outside_the_repo(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        resolved = default_cache_dir().resolve()
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        assert not str(resolved).startswith(os.path.abspath(repo_root))
+
+    def test_roundtrip_and_stats(self, tmp_path) -> None:
+        cache = ResultCache(root=tmp_path / "c")
+        key = cache_key({"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"payload": [1, 2, 3]})
+        assert cache.get(key) == {"payload": [1, 2, 3]}
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (
+            1,
+            1,
+            1,
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path) -> None:
+        cache = ResultCache(root=tmp_path / "c")
+        key = cache_key({"a": 1})
+        cache.put(key, "value")
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path) -> None:
+        cache = ResultCache(root=tmp_path / "c")
+        cache.put(cache_key({"a": 1}), "value")
+        assert cache.entry_count() == 1
+        cache.clear()
+        assert cache.entry_count() == 0
+
+    def test_get_default_cache_follows_env(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "one"))
+        first = get_default_cache()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "two"))
+        second = get_default_cache()
+        assert first is not second
+        assert get_default_cache() is second
+
+
+class TestCellKeys:
+    def test_key_depends_on_every_knob(self) -> None:
+        base = SweepCell("wom", 768, 1, 11)
+        variants = [
+            SweepCell("uncoded", 768, 1, 11),
+            SweepCell("wom", 1024, 1, 11),
+            SweepCell("wom", 768, 2, 11),
+            SweepCell("wom", 768, 1, 12),
+            SweepCell("wom", 768, 1, 11, lanes=2),
+            SweepCell("wom", 768, 1, 11, kwargs=(("x", 1),)),
+        ]
+        keys = {cell_key(cell) for cell in variants}
+        assert cell_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_includes_code_fingerprint(self) -> None:
+        cell = SweepCell("wom", 768, 1, 11)
+        fingerprint = code_fingerprint()
+        assert len(fingerprint) == 64
+        # Same cell, same code -> same address (stable across processes).
+        assert cell_key(cell) == cell_key(SweepCell("wom", 768, 1, 11))
+
+
+class TestRunCells:
+    def test_cold_then_warm(self) -> None:
+        config = _config()
+        cache = get_default_cache()
+        cold = run_cells(_cells(config), config)
+        assert cache.stats.misses == 3 and cache.stats.stores == 3
+        warm = run_cells(_cells(config), config)
+        assert cache.stats.hits == 3
+        for a, b in zip(cold, warm):
+            assert a.writes_per_cycle == b.writes_per_cycle
+
+    def test_cache_disabled_writes_nothing(self) -> None:
+        config = _config(cache=False)
+        run_cells(_cells(config), config)
+        assert get_default_cache().entry_count() == 0
+
+    def test_source_change_invalidates(self, monkeypatch) -> None:
+        config = _config()
+        run_cells(_cells(config), config)
+        # Simulate a code edit by forcing a different fingerprint.
+        monkeypatch.setattr(
+            "repro.experiments.pool.code_fingerprint", lambda: "0" * 64
+        )
+        cache = get_default_cache()
+        before = cache.stats.snapshot()
+        run_cells(_cells(config), config)
+        delta = cache.stats.since(before)
+        assert delta.hits == 0 and delta.misses == 3
+
+    def test_jobs_gt_1_matches_serial(self) -> None:
+        config = _config(cache=False)
+        serial = run_cells(_cells(config), config, jobs=1)
+        fanned = run_cells(_cells(config), config, jobs=2)
+        for a, b in zip(serial, fanned):
+            assert a.writes_per_cycle == b.writes_per_cycle
+            assert a.scheme_name == b.scheme_name
+
+    def test_run_cell_is_deterministic(self) -> None:
+        cell = cell_for("mfc-1/2-1bpc", _config(), constraint_length=3)
+        assert (
+            run_cell(cell).writes_per_cycle == run_cell(cell).writes_per_cycle
+        )
+
+
+class TestCliIntegration:
+    def test_jobs_output_identical(self) -> None:
+        config1 = _config(cache=False, jobs=1)
+        config4 = _config(cache=False, jobs=4)
+        assert format_table1(run_table1(config1)) == format_table1(
+            run_table1(config4)
+        )
+
+    def test_runner_reports_cache_and_jobs(self, capsys) -> None:
+        assert main(["table1", *FAST_ARGS]) == 0
+        cold = capsys.readouterr().out
+        assert "jobs=1" in cold and "misses" in cold
+        assert main(["table1", *FAST_ARGS]) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 8 hits, 0 misses" in warm
+
+    def test_runner_no_cache_flag(self, capsys) -> None:
+        assert main(["table1", *FAST_ARGS, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert get_default_cache().entry_count() == 0
+
+    @pytest.mark.parametrize("jobs", ["2"])
+    def test_runner_jobs_flag(self, jobs: str, capsys) -> None:
+        assert main(["table1", *FAST_ARGS, "--jobs", jobs, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert f"jobs={jobs}" in out and "MFC-1/2-1BPC" in out
