@@ -22,10 +22,10 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Fast coding-path throughput check (batched vs scalar engine, Viterbi
-# kernel, sweep fabric); writes BENCH_coding.json at the repo root.  CI
-# runs this and uploads the JSON.
+# kernel, sweep fabric, disabled-telemetry overhead); writes
+# BENCH_coding.json at the repo root.  CI runs this and uploads the JSON.
 bench-smoke:
-	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py benchmarks/test_bench_sweep.py -q
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py benchmarks/test_bench_sweep.py benchmarks/test_bench_obs.py -q
 
 # Paper-fidelity benchmark run (4 KB pages, several minutes).
 bench-full:

@@ -30,6 +30,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
+from repro.obs import registry as _metrics
+
 __all__ = [
     "CacheStats",
     "ResultCache",
@@ -41,6 +43,10 @@ __all__ = [
 
 #: Subdirectory name under the platform cache root.
 _CACHE_NAME = "methuselah-repro"
+
+_HITS = _metrics.counter("cache.hits")
+_MISSES = _metrics.counter("cache.misses")
+_STORES = _metrics.counter("cache.stores")
 
 
 @lru_cache(maxsize=1)
@@ -131,8 +137,10 @@ class ResultCache:
             value = pickle.loads(payload)
         except (OSError, pickle.PickleError, EOFError, AttributeError):
             self.stats.misses += 1
+            _MISSES.inc()
             return None
         self.stats.hits += 1
+        _HITS.inc()
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -153,6 +161,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        _STORES.inc()
 
     def entry_count(self) -> int:
         """Number of stored entries on disk."""

@@ -22,6 +22,7 @@ from repro.coding.registry import get_code
 from repro.coding.syndrome import SyndromeFormer
 from repro.coding.viterbi import CosetViterbi
 from repro.errors import CodingError, ConfigurationError, UnwritableError
+from repro.obs.tracing import span as _span
 from repro.vcell import VCellArray, VCellSpec
 
 __all__ = ["ConvolutionalCosetCode"]
@@ -172,28 +173,29 @@ class ConvolutionalCosetCode(PageCode):
                 f"{lanes} datawords but {len(pages)} pages"
             )
         m = self.code.num_outputs
-        syndrome = np.zeros((lanes, self.steps, m - 1), dtype=np.uint8)
-        syndrome[:, self.guard_steps :] = data.reshape(
-            lanes, self.steps - self.guard_steps, m - 1
-        )
-        representative = self.former.representative_batch(syndrome)
-        rep_values = pack_values_axis(representative.reshape(lanes, -1), m)
-        all_levels = self.varray.levels_batch(pages)
-        step_levels = all_levels[:, : self.used_cells].reshape(
-            lanes, self.steps, self.cells_per_step
-        )
-        result = self.viterbi.search_batch(rep_values, step_levels)
-        self._last_costs = result.total_costs
-        # Unwritable lanes are reprogrammed to their current levels (a
-        # no-op) so their bits pass through unchanged.
-        targets = all_levels.copy()
-        targets[:, : self.used_cells] = np.where(
-            result.writable[:, None],
-            result.target_levels.reshape(lanes, -1),
-            all_levels[:, : self.used_cells],
-        )
-        new_pages = self.varray.program_levels_batch(pages, targets)
-        return new_pages, result.writable
+        with _span("coset.encode_batch", lanes=lanes, steps=self.steps):
+            syndrome = np.zeros((lanes, self.steps, m - 1), dtype=np.uint8)
+            syndrome[:, self.guard_steps :] = data.reshape(
+                lanes, self.steps - self.guard_steps, m - 1
+            )
+            representative = self.former.representative_batch(syndrome)
+            rep_values = pack_values_axis(representative.reshape(lanes, -1), m)
+            all_levels = self.varray.levels_batch(pages)
+            step_levels = all_levels[:, : self.used_cells].reshape(
+                lanes, self.steps, self.cells_per_step
+            )
+            result = self.viterbi.search_batch(rep_values, step_levels)
+            self._last_costs = result.total_costs
+            # Unwritable lanes are reprogrammed to their current levels (a
+            # no-op) so their bits pass through unchanged.
+            targets = all_levels.copy()
+            targets[:, : self.used_cells] = np.where(
+                result.writable[:, None],
+                result.target_levels.reshape(lanes, -1),
+                all_levels[:, : self.used_cells],
+            )
+            new_pages = self.varray.program_levels_batch(pages, targets)
+            return new_pages, result.writable
 
     def decode(self, page: np.ndarray) -> np.ndarray:
         """Decode one page — a ``B = 1`` wrapper over :meth:`decode_batch`."""
@@ -203,12 +205,17 @@ class ConvolutionalCosetCode(PageCode):
         """Decode ``B`` pages to their ``(B, dataword_bits)`` datawords."""
         pages = np.asarray(pages, dtype=np.uint8)
         lanes = len(pages)
-        levels = self.varray.levels_batch(pages)[:, : self.used_cells]
-        symbols = self.codebook.read_table[levels]
-        codeword_bits = unpack_values_axis(symbols, self.codebook.bits_per_cell)
-        streams = codeword_bits.reshape(lanes, self.steps, self.code.num_outputs)
-        syndrome = self.former.syndrome_batch(streams)
-        return syndrome[:, self.guard_steps :].reshape(lanes, -1)
+        with _span("coset.decode_batch", lanes=lanes):
+            levels = self.varray.levels_batch(pages)[:, : self.used_cells]
+            symbols = self.codebook.read_table[levels]
+            codeword_bits = unpack_values_axis(
+                symbols, self.codebook.bits_per_cell
+            )
+            streams = codeword_bits.reshape(
+                lanes, self.steps, self.code.num_outputs
+            )
+            syndrome = self.former.syndrome_batch(streams)
+            return syndrome[:, self.guard_steps :].reshape(lanes, -1)
 
     def __str__(self) -> str:
         return (

@@ -22,8 +22,13 @@ import numpy as np
 from repro.coding.bitops import gf2_convolve_axis, gf2_divide_causal
 from repro.coding.convolutional import ConvolutionalCode
 from repro.errors import CodingError
+from repro.obs import registry as _metrics
+from repro.obs.tracing import span as _span
 
 __all__ = ["SyndromeFormer"]
+
+_DIVISIONS = _metrics.counter("syndrome.divisions")
+_SYNDROMES = _metrics.counter("syndrome.formed")
 
 #: Block length for the division-by-``g1`` operator.  Each block is one
 #: ``(rows, L) @ (L, L)`` float32 matmul; 1024 keeps the cached Toeplitz
@@ -111,6 +116,7 @@ class SyndromeFormer:
                 f"got shape {streams.shape}"
             )
         lanes, steps, _ = streams.shape
+        _SYNDROMES.inc(lanes)
         result = np.empty(
             (lanes, steps, self.syndrome_bits_per_step), dtype=np.uint8
         )
@@ -161,7 +167,9 @@ class SyndromeFormer:
         # Divide all (lane, stream) sequences at once: move the step axis
         # last so the division vectorizes over lanes * (m-1) sequences.
         numerators = np.moveaxis(s, 1, 2)  # (B, m-1, steps)
-        streams = self._divide_by_g1(numerators)
+        with _span("syndrome.divide", lanes=lanes, steps=steps):
+            streams = self._divide_by_g1(numerators)
+        _DIVISIONS.inc(lanes)
         rep[:, :, 1:] = np.moveaxis(streams, 2, 1)
         return rep
 

@@ -47,8 +47,17 @@ import numpy as np
 from repro.coding.convolutional import Trellis
 from repro.coding.cost import CellCodebook
 from repro.errors import ConfigurationError, UnwritableError
+from repro.obs import registry as _metrics
+from repro.obs.tracing import span as _span
 
 __all__ = ["CosetViterbi", "ViterbiResult", "ViterbiBatchResult"]
+
+#: Telemetry handles (live forever; self-gated on the registry's enabled
+#: flag).  The ACS and backtrace phases additionally get spans per search —
+#: never per trellis step, which keeps disabled overhead out of the kernel.
+_SEARCHES = _metrics.counter("viterbi.searches")
+_LANES = _metrics.counter("viterbi.lanes")
+_UNWRITABLE = _metrics.counter("viterbi.unwritable_lanes")
 
 #: Branch-cost slabs are precomputed in chunks of roughly this many bytes so
 #: the hoisted gather stays cache-friendly without ballooning memory when
@@ -326,22 +335,30 @@ class CosetViterbi:
                 if steps * self._max_step_cost <= float(2**24 - 1)
                 else np.float64
             )
-            path, backptr2, backptr_tail = self._forward_radix4(
-                reps, levels, dtype
-            )
+            with _span("viterbi.acs", lanes=lanes, steps=steps, radix=4):
+                path, backptr2, backptr_tail = self._forward_radix4(
+                    reps, levels, dtype
+                )
             end_state = np.argmin(path, axis=1)
             total_costs = path[lane_index, end_state].astype(np.float64)
-            codeword_values = self._backtrace_radix4(
-                reps, end_state, backptr2, backptr_tail, lane_index
-            )
+            with _span("viterbi.backtrace", lanes=lanes, steps=steps, radix=4):
+                codeword_values = self._backtrace_radix4(
+                    reps, end_state, backptr2, backptr_tail, lane_index
+                )
         else:
-            path, backptr = self._forward_radix2(reps, levels)
+            with _span("viterbi.acs", lanes=lanes, steps=steps, radix=2):
+                path, backptr = self._forward_radix2(reps, levels)
             end_state = np.argmin(path, axis=1)
             total_costs = path[lane_index, end_state]
-            codeword_values = self._backtrace_radix2(
-                reps, end_state, backptr, lane_index
-            )
+            with _span("viterbi.backtrace", lanes=lanes, steps=steps, radix=2):
+                codeword_values = self._backtrace_radix2(
+                    reps, end_state, backptr, lane_index
+                )
         writable = np.isfinite(total_costs)
+        _SEARCHES.inc()
+        _LANES.inc(lanes)
+        if not writable.all():
+            _UNWRITABLE.inc(int(lanes - np.count_nonzero(writable)))
         symbols = self.symbol_of_value[codeword_values]  # (B, steps, cells)
         target_levels = self.codebook.chunk_targets(levels, symbols)
         return ViterbiBatchResult(

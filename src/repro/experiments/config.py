@@ -9,7 +9,9 @@ page and fewer erase cycles; both are overridable:
 * ``REPRO_CONSTRAINT_LENGTH`` — trellis size for the MFC coset codes,
 * ``REPRO_LANES`` — concurrent pages per simulation (batched engine),
 * ``REPRO_JOBS`` — worker processes for sweep fan-out (1 = in-process),
-* ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
+* ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache,
+* ``REPRO_METRICS`` — set to ``1`` to collect telemetry (metrics + traces)
+  even without ``--metrics-out``/``--trace-out``.
 
 ``lanes=1`` (the default) reproduces the historical scalar numbers bit for
 bit; larger lane counts run ``lanes`` independently seeded pages through
@@ -40,6 +42,7 @@ class ExperimentConfig:
     lanes: int = 1  # concurrent pages; lane i is seeded seed + i
     jobs: int = 1  # worker processes for sweep fan-out; 1 = in-process
     cache: bool = True  # consult/populate the on-disk result cache
+    metrics: bool = False  # collect telemetry (registry counters + traces)
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
@@ -52,6 +55,8 @@ class ExperimentConfig:
             lanes=int(os.environ.get("REPRO_LANES", "1")),
             jobs=int(os.environ.get("REPRO_JOBS", "1")),
             cache=os.environ.get("REPRO_CACHE", "1") != "0",
+            metrics=os.environ.get("REPRO_METRICS", "0").lower()
+            in ("1", "true", "yes", "on"),
         )
 
     @property

@@ -28,8 +28,14 @@ from repro.cache import ResultCache, cache_key, code_fingerprint, get_default_ca
 from repro.core import LifetimeResult, make_scheme
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import simulate_lanes
+from repro.obs import registry as _metrics
+from repro.obs.registry import RegistrySnapshot
+from repro.obs.tracing import span as _span
 
 __all__ = ["SweepCell", "cell_for", "cell_key", "run_cell", "run_cells"]
+
+_CELLS_RUN = _metrics.counter("sweep.cells_run")
+_CELLS_CACHED = _metrics.counter("sweep.cells_cached")
 
 
 @dataclass(frozen=True)
@@ -88,9 +94,40 @@ def run_cell(cell: SweepCell) -> LifetimeResult:
     scheme = make_scheme(
         cell.scheme, page_bits=cell.page_bits, **dict(cell.kwargs)
     )
-    return simulate_lanes(
-        scheme, cycles=cell.cycles, seed=cell.seed, lanes=cell.lanes
-    )
+    with _span(
+        "sweep.cell",
+        scheme=cell.scheme,
+        page_bits=cell.page_bits,
+        lanes=cell.lanes,
+        cycles=cell.cycles,
+        seed=cell.seed,
+    ):
+        result = simulate_lanes(
+            scheme, cycles=cell.cycles, seed=cell.seed, lanes=cell.lanes
+        )
+    _CELLS_RUN.inc()
+    return result
+
+
+def _run_cell_observed(
+    cell: SweepCell, telemetry: bool
+) -> tuple[LifetimeResult, RegistrySnapshot | None]:
+    """Worker-side wrapper: run one cell and capture its telemetry.
+
+    Workers inherit a fresh (or reused) process whose registry state is
+    unrelated to the parent's, so the protocol is explicit: force the
+    enabled flag to the parent's choice, zero the registry, run, snapshot.
+    The parent merges every returned snapshot, which makes ``--jobs N``
+    totals exactly equal a ``jobs=1`` run (merging is commutative, so
+    completion order does not matter).
+    """
+    if not telemetry:
+        return run_cell(cell), None
+    registry = _metrics.get_registry()
+    registry.enabled = True
+    registry.reset()
+    result = run_cell(cell)
+    return result, registry.snapshot()
 
 
 def run_cells(
@@ -122,15 +159,22 @@ def run_cells(
         hit = cache.get(cell_key(cell)) if cache is not None else None
         if hit is not None:
             results[index] = hit
+            _CELLS_CACHED.inc()
         else:
             pending.append(index)
+    registry = _metrics.get_registry()
     if jobs > 1 and len(pending) > 1:
+        telemetry = registry.enabled
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(run_cell, cells[index]): index for index in pending
+                pool.submit(_run_cell_observed, cells[index], telemetry): index
+                for index in pending
             }
             for future in as_completed(futures):
-                results[futures[future]] = future.result()
+                result, snap = future.result()
+                results[futures[future]] = result
+                if snap is not None:
+                    registry.merge(snap)
     else:
         for index in pending:
             results[index] = run_cell(cells[index])

@@ -17,6 +17,9 @@ import time
 from repro.cache import get_default_cache
 from repro.experiments import extensions, figures, table1
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.summary import build_summary, format_summary
+from repro.obs import registry as _metrics
+from repro.obs.export import write_metrics, write_trace
 
 __all__ = ["main"]
 
@@ -81,6 +84,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", dest="cache", action="store_false",
                         default=defaults.cache,
                         help="skip the on-disk result cache entirely")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a Prometheus-style metrics dump here "
+                             "(implies telemetry collection)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the JSON-lines span trace here "
+                             "(implies telemetry collection)")
     args = parser.parse_args(argv)
     config = ExperimentConfig(
         page_bytes=args.page_bytes,
@@ -90,11 +99,22 @@ def main(argv: list[str] | None = None) -> int:
         lanes=args.lanes,
         jobs=args.jobs,
         cache=args.cache,
+        metrics=bool(
+            defaults.metrics or args.metrics_out or args.trace_out
+        ),
     )
+    if config.metrics:
+        _metrics.set_enabled(True)
     cache = get_default_cache() if config.cache else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    registry = _metrics.get_registry()
     for name in names:
-        before = cache.stats.snapshot() if cache is not None else None
+        cache_before = cache.stats.snapshot() if cache is not None else None
+        registry_before = (
+            registry.snapshot(include_events=False)
+            if registry.enabled
+            else None
+        )
         start = time.time()
         output = _run_one(name, config)
         elapsed = time.time() - start
@@ -102,16 +122,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
               f"K={config.constraint_length}{lanes_note}, {elapsed:.1f}s) ===")
         print(output)
-        if cache is not None:
-            delta = cache.stats.since(before)
-            cache_note = (
-                f"cache: {delta.hits} hits, {delta.misses} misses "
-                f"({cache.root})"
-            )
-        else:
-            cache_note = "cache: disabled"
-        print(f"[{name}] wall {elapsed:.2f}s, jobs={config.jobs}, {cache_note}")
+        summary = build_summary(
+            name,
+            elapsed=elapsed,
+            jobs=config.jobs,
+            lanes=config.lanes,
+            cache_delta=(
+                cache.stats.since(cache_before) if cache is not None else None
+            ),
+            cache_root=str(cache.root) if cache is not None else None,
+            before=registry_before,
+        )
+        print(format_summary(summary))
         print()
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

@@ -54,3 +54,26 @@ class FlashStats:
             "bits_programmed": self.bits_programmed,
             "max_block_erases": self.max_block_erases,
         }
+
+    def snapshot(self) -> "FlashStats":
+        """An independent copy safe to ship across processes."""
+        return FlashStats(
+            page_reads=self.page_reads,
+            page_programs=self.page_programs,
+            program_failures=self.program_failures,
+            block_erases=self.block_erases,
+            bits_programmed=self.bits_programmed,
+            erases_per_block=dict(self.erases_per_block),
+        )
+
+    def merge(self, other: "FlashStats") -> None:
+        """Fold another chip's (or process's) counts into this one."""
+        self.page_reads += other.page_reads
+        self.page_programs += other.page_programs
+        self.program_failures += other.program_failures
+        self.block_erases += other.block_erases
+        self.bits_programmed += other.bits_programmed
+        for block_index, erases in other.erases_per_block.items():
+            self.erases_per_block[block_index] = (
+                self.erases_per_block.get(block_index, 0) + erases
+            )

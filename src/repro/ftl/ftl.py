@@ -18,8 +18,13 @@ from repro.flash.chip import FlashChip
 from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
 from repro.ftl.mapping import PageMapping, PhysicalPageState
 from repro.ftl.wear_leveling import DynamicWearLeveling, WearLevelingPolicy
+from repro.obs import registry as _metrics
+from repro.obs.tracing import span as _span
 
 __all__ = ["BasicFTL", "FTLStats"]
+
+_GC_RUNS = _metrics.counter("ftl.gc_runs")
+_SCRUB_PASSES = _metrics.counter("ftl.scrub_passes")
 
 
 @dataclass
@@ -52,6 +57,15 @@ class FTLStats:
     def summary(self) -> dict[str, int]:
         """Flat dict of all counters, for printing or logging."""
         return dict(self.__dict__)
+
+    def snapshot(self) -> "FTLStats":
+        """An independent copy safe to ship across processes."""
+        return FTLStats(**self.__dict__)
+
+    def merge(self, other: "FTLStats") -> None:
+        """Fold another FTL's (or process's) counts into this one."""
+        for name, value in other.__dict__.items():
+            setattr(self, name, getattr(self, name) + value)
 
 
 class BasicFTL:
@@ -343,8 +357,10 @@ class BasicFTL:
                 if victim is None:
                     return
                 self.stats.gc_runs += 1
+                _GC_RUNS.inc()
                 try:
-                    self._reclaim_block(victim)
+                    with _span("ftl.gc.reclaim", victim=victim):
+                        self._reclaim_block(victim)
                 except (OutOfSpaceError, ProgramFailedError):
                     # Relocation burned more pages than the headroom
                     # estimate promised (failed programs consume pages
@@ -447,22 +463,27 @@ class BasicFTL:
         """
         budget = max_relocations if max_relocations is not None else float("inf")
         moved = 0
-        try:
-            for block in sorted(self._retired):
-                for addr in self.mapping.live_pages_in_block(block):
-                    if moved >= budget:
-                        return moved
-                    moved += self._scrub_relocate(addr)
-            for block in range(self.chip.geometry.blocks):
-                if block in self._retired or block == self._open_block:
-                    continue
-                for addr in self.mapping.live_pages_in_block(block):
-                    if moved >= budget:
-                        return moved
-                    if not self._scrub_page_ok(self.chip.read_page(*addr)):
+        _SCRUB_PASSES.inc()
+        with _span("ftl.scrub") as event:
+            try:
+                for block in sorted(self._retired):
+                    for addr in self.mapping.live_pages_in_block(block):
+                        if moved >= budget:
+                            return moved
                         moved += self._scrub_relocate(addr)
-        except (OutOfSpaceError, ProgramFailedError):
-            pass  # scrub never escalates; the remaining pages wait
+                for block in range(self.chip.geometry.blocks):
+                    if block in self._retired or block == self._open_block:
+                        continue
+                    for addr in self.mapping.live_pages_in_block(block):
+                        if moved >= budget:
+                            return moved
+                        if not self._scrub_page_ok(self.chip.read_page(*addr)):
+                            moved += self._scrub_relocate(addr)
+            except (OutOfSpaceError, ProgramFailedError):
+                pass  # scrub never escalates; the remaining pages wait
+            finally:
+                if event is not None:
+                    event["attrs"]["moved"] = moved
         return moved
 
     def _scrub_page_ok(self, raw: np.ndarray) -> bool:

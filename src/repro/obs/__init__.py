@@ -1,0 +1,67 @@
+"""Unified telemetry: metrics registry, span tracing, exporters.
+
+``repro.obs`` is the one observability surface for the whole write path —
+Viterbi phases, syndrome division, scheme writes, v-cell programming,
+chip/FTL/SSD operations, fault injections and the sweep fabric all publish
+here.  Collection is **off by default**; enable it with ``REPRO_METRICS=1``
+or the CLIs' ``--metrics-out`` / ``--trace-out`` flags.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.set_enabled(True)
+    obs.counter("my.counter").inc()
+    with obs.span("my.phase", size=4096):
+        ...
+    print(obs.to_prometheus())            # metrics text dump
+    obs.write_trace("trace.jsonl")        # structured span events
+
+    snap = obs.get_registry().snapshot()  # picklable; ships across processes
+    obs.get_registry().merge(snap)        # counters sum, gauges max
+
+See ``docs/architecture.md`` ("Telemetry and tracing") for the
+instrumented-layer map and the cross-process aggregation contract.
+"""
+
+from repro.obs.export import to_prometheus, trace_lines, write_metrics, write_trace
+from repro.obs.registry import (
+    TIME_BUCKETS,
+    VALUE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    RegistrySnapshot,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+    set_enabled,
+)
+from repro.obs.tracing import span, traced
+
+__all__ = [
+    "TIME_BUCKETS",
+    "VALUE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "is_enabled",
+    "set_enabled",
+    "span",
+    "to_prometheus",
+    "trace_lines",
+    "traced",
+    "write_metrics",
+    "write_trace",
+]

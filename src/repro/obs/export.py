@@ -1,0 +1,113 @@
+"""Exporters: Prometheus-style text dump and JSON-lines trace file.
+
+The Prometheus format is the plain text exposition format (counters,
+gauges, and histograms with ``_bucket``/``_sum``/``_count`` series), with
+dotted instrument names flattened to underscores and prefixed ``repro_``.
+The trace export is one JSON object per line — loadable with ``jq``, pandas
+or any log pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    get_registry,
+)
+
+__all__ = [
+    "to_prometheus",
+    "trace_lines",
+    "write_metrics",
+    "write_trace",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _as_snapshot(source) -> RegistrySnapshot:
+    if isinstance(source, RegistrySnapshot):
+        return source
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    if source is None:
+        return get_registry().snapshot()
+    raise TypeError(f"cannot export {type(source).__name__}")
+
+
+def to_prometheus(source: MetricsRegistry | RegistrySnapshot | None = None) -> str:
+    """Render a registry (default: the process-global one) as Prometheus text."""
+    snap = _as_snapshot(source)
+    lines: list[str] = []
+    for name in sorted(snap.counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snap.counters[name])}")
+    for name in sorted(snap.gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snap.gauges[name])}")
+    for name in sorted(snap.histograms):
+        hist = snap.histograms[name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for upper, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_lines(source: MetricsRegistry | RegistrySnapshot | None = None):
+    """Yield one JSON line per recorded span event."""
+    snap = _as_snapshot(source)
+    for event in snap.events:
+        yield json.dumps(event, sort_keys=True)
+
+
+def write_metrics(
+    path: str | Path,
+    source: MetricsRegistry | RegistrySnapshot | None = None,
+) -> Path:
+    """Write the Prometheus text dump to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(source))
+    return path
+
+
+def write_trace(
+    path: str | Path,
+    source: MetricsRegistry | RegistrySnapshot | None = None,
+) -> Path:
+    """Write the JSON-lines trace to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as stream:
+        for line in trace_lines(source):
+            stream.write(line + "\n")
+    return path

@@ -15,6 +15,8 @@ import sys
 from repro.errors import ConfigurationError
 from repro.faults import FaultProfile
 from repro.flash import FlashGeometry
+from repro.obs import registry as _metrics
+from repro.obs.export import write_metrics, write_trace
 from repro.ftl import DynamicWearLeveling, NoWearLeveling, StaticWearLeveling
 from repro.ssd.device import SSD
 from repro.ssd.report import format_device_report, format_reliability_report
@@ -92,7 +94,15 @@ def main(argv: list[str] | None = None) -> int:
     fault_group.add_argument("--scrub-interval", type=int, default=None,
                              help="host writes between background scrub "
                              "passes")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a Prometheus-style metrics dump here "
+                             "(implies telemetry collection)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the JSON-lines span trace here "
+                             "(implies telemetry collection)")
     args = parser.parse_args(argv)
+    if args.metrics_out or args.trace_out:
+        _metrics.set_enabled(True)
     try:
         return _run(args)
     except ConfigurationError as exc:
@@ -157,6 +167,12 @@ def _run(args: argparse.Namespace) -> int:
     if faults_on:
         print()
         print(format_reliability_report(results))
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

@@ -11,6 +11,8 @@ from repro.errors import (
     ReadOnlyModeError,
     UncorrectableReadError,
 )
+from repro.obs import registry as _metrics
+from repro.obs.tracing import span as _span
 from repro.ssd.device import SSD
 from repro.ssd.workload import Workload
 
@@ -110,29 +112,45 @@ def run_until_death(
     bits = ssd.logical_page_bits
     first_failure: int | None = None
     stats = ssd.ftl.stats
-    while writes < max_writes:
-        lpn = workload.next_lpn()
-        data = workload.next_data(bits)
-        try:
-            ssd.write(lpn, data)
-        except (OutOfSpaceError, ProgramFailedError, ReadOnlyModeError):
-            ssd.enter_read_only()
-            break
-        writes += 1
+    with _span(
+        "ssd.run_until_death", scheme=ssd.scheme_name, max_writes=max_writes
+    ) as event:
+        while writes < max_writes:
+            lpn = workload.next_lpn()
+            data = workload.next_data(bits)
+            try:
+                ssd.write(lpn, data)
+            except (OutOfSpaceError, ProgramFailedError, ReadOnlyModeError):
+                ssd.enter_read_only()
+                break
+            writes += 1
+            if first_failure is None and stats.program_failures > 0:
+                first_failure = writes
+            if scrub_interval is not None and writes % scrub_interval == 0:
+                ssd.scrub()
         if first_failure is None and stats.program_failures > 0:
             first_failure = writes
-        if scrub_interval is not None and writes % scrub_interval == 0:
-            ssd.scrub()
-    if first_failure is None and stats.program_failures > 0:
-        first_failure = writes
-    if audit is None:
-        audit = ssd.faults is not None
-    if audit:
-        for lpn in range(ssd.logical_pages):
-            try:
-                ssd.read(lpn)
-            except UncorrectableReadError:
-                pass  # already counted in uncorrectable_reads/data_loss_events
+        if audit is None:
+            audit = ssd.faults is not None
+        if audit:
+            for lpn in range(ssd.logical_pages):
+                try:
+                    ssd.read(lpn)
+                except UncorrectableReadError:
+                    pass  # already counted in uncorrectable_reads/data_loss_events
+        if event is not None:
+            event["attrs"]["host_writes"] = writes
+    # Publish this run's end-of-life accounting: FTL and fault-injection
+    # totals are absorbed once per finished run (the live flash.* counters
+    # already track chip ops, so FlashStats is NOT re-absorbed here).
+    registry = _metrics.get_registry()
+    if registry.enabled:
+        registry.absorb("ftl", stats.summary())
+        if ssd.faults is not None:
+            registry.absorb("faults", ssd.faults.counters.summary())
+        registry.gauge("flash.max_block_erases").set(
+            ssd.chip.stats.max_block_erases
+        )
     return DeviceLifetimeResult(
         scheme_name=ssd.scheme_name,
         host_writes=writes,

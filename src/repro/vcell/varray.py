@@ -9,9 +9,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CellSaturatedError, VCellError
+from repro.obs import registry as _metrics
 from repro.vcell.vcell import VCellSpec
 
 __all__ = ["VCellArray"]
+
+#: Level-domain programming telemetry: pages pushed through
+#: ``program_levels*`` and the total level increments applied (the v-cell
+#: wear currency of the paper's cost model).
+_PROGRAMS = _metrics.counter("vcell.programs")
+_LEVEL_INCREMENTS = _metrics.counter("vcell.level_increments")
 
 
 class VCellArray:
@@ -112,6 +119,9 @@ class VCellArray:
         new_cells = cells | to_set.astype(np.uint8)
         new_page = np.asarray(page_bits, dtype=np.uint8).copy()
         new_page[: self.used_bits] = new_cells.reshape(-1)
+        if _metrics.is_enabled():
+            _PROGRAMS.inc()
+            _LEVEL_INCREMENTS.inc(int(deficits.sum()))
         return new_page
 
     def program_levels_batch(
@@ -149,6 +159,9 @@ class VCellArray:
         new_cells = cells | to_set.astype(np.uint8)
         new_pages = np.asarray(pages, dtype=np.uint8).copy()
         new_pages[:, : self.used_bits] = new_cells.reshape(lanes, -1)
+        if _metrics.is_enabled():
+            _PROGRAMS.inc(lanes)
+            _LEVEL_INCREMENTS.inc(int(deficits.sum()))
         return new_pages
 
     def saturated(self, page_bits: np.ndarray) -> np.ndarray:

@@ -6,6 +6,22 @@ import numpy as np
 import pytest
 
 from repro.flash import FlashChip, FlashGeometry, MLC, SLC, TLC
+from repro.obs import registry as obs_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_metrics_registry() -> None:
+    """Start every test with a disabled, zeroed metrics registry.
+
+    The registry is process-global and permanent; tests that enable it
+    must not leak counts (or the enabled flag) into their neighbors.
+    """
+    registry = obs_registry.get_registry()
+    registry.enabled = False
+    registry.reset()
+    yield
+    registry.enabled = False
+    registry.reset()
 
 
 @pytest.fixture(autouse=True)

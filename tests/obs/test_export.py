@@ -1,0 +1,73 @@
+"""Unit tests for the Prometheus and JSON-lines exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import to_prometheus, trace_lines, write_metrics, write_trace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import span
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("viterbi.searches").inc(3)
+    registry.gauge("flash.max_block_erases").set(12)
+    hist = registry.histogram("scheme.bits_programmed_per_write", (4.0, 16.0))
+    hist.observe(2)
+    hist.observe(100)
+    with span("coset.encode_batch", registry=registry, lanes=2):
+        pass
+    return registry
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_viterbi_searches counter" in text
+        assert "repro_viterbi_searches 3" in text
+        assert "# TYPE repro_flash_max_block_erases gauge" in text
+        assert "repro_flash_max_block_erases 12" in text
+
+    def test_histogram_series_are_cumulative(self, registry):
+        text = to_prometheus(registry)
+        assert 'repro_scheme_bits_programmed_per_write_bucket{le="4"} 1' in text
+        assert 'repro_scheme_bits_programmed_per_write_bucket{le="16"} 1' in text
+        assert 'repro_scheme_bits_programmed_per_write_bucket{le="+Inf"} 2' in text
+        assert "repro_scheme_bits_programmed_per_write_sum 102" in text
+        assert "repro_scheme_bits_programmed_per_write_count 2" in text
+
+    def test_names_are_sanitized(self, registry):
+        registry.counter("weird-name.with/slash").inc()
+        text = to_prometheus(registry)
+        assert "repro_weird_name_with_slash 1" in text
+
+    def test_accepts_snapshot_and_rejects_junk(self, registry):
+        snap = registry.snapshot()
+        assert to_prometheus(snap) == to_prometheus(registry)
+        with pytest.raises(TypeError):
+            to_prometheus(42)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+
+class TestTraceExport:
+    def test_one_json_object_per_event(self, registry):
+        lines = list(trace_lines(registry))
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["name"] == "coset.encode_batch"
+        assert event["attrs"]["lanes"] == 2
+        assert "dur" in event
+
+    def test_write_files(self, registry, tmp_path):
+        metrics_path = write_metrics(tmp_path / "out" / "metrics.prom", registry)
+        trace_path = write_trace(tmp_path / "out" / "trace.jsonl", registry)
+        assert "repro_viterbi_searches 3" in metrics_path.read_text()
+        payload = trace_path.read_text().strip().splitlines()
+        assert len(payload) == 1
+        assert json.loads(payload[0])["name"] == "coset.encode_batch"
