@@ -25,7 +25,7 @@ bench:
 # kernel, sweep fabric, disabled-telemetry overhead); writes
 # BENCH_coding.json at the repo root.  CI runs this and uploads the JSON.
 bench-smoke:
-	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py benchmarks/test_bench_sweep.py benchmarks/test_bench_obs.py -q
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py benchmarks/test_bench_sweep.py benchmarks/test_bench_obs.py benchmarks/test_bench_server.py -q
 
 # Paper-fidelity benchmark run (4 KB pages, several minutes).
 bench-full:

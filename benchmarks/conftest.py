@@ -26,6 +26,7 @@ from repro.experiments.config import ExperimentConfig
 #: Repo root — conftest lives in <root>/benchmarks/.
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_coding.json"
+BENCH_SERVER_JSON = REPO_ROOT / "BENCH_server.json"
 
 
 @pytest.fixture(scope="session")
@@ -63,3 +64,11 @@ def perf_recorder():
     recorder = PerfRecorder()
     yield recorder
     recorder.flush()
+
+
+@pytest.fixture(scope="session")
+def server_perf_recorder():
+    """Serving-layer collector backing ``BENCH_server.json``."""
+    recorder = PerfRecorder()
+    yield recorder
+    recorder.flush(BENCH_SERVER_JSON)

@@ -131,3 +131,24 @@ class DecodingError(CodingError):
 
 class ConfigurationError(ReproError):
     """A scheme, code, or simulator was configured with invalid parameters."""
+
+
+class ServerError(ReproError):
+    """Base class for storage-service errors (client- or server-side)."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame violated the protocol (truncated, oversized, malformed)."""
+
+
+class ServerBusyError(ServerError):
+    """The service shed this request under admission control (queue full).
+
+    Only raised when the server runs with ``admission="reject"``; the
+    default configuration applies backpressure (it stops reading the
+    connection) instead of failing requests.
+    """
+
+
+class ConnectionLostError(ServerError):
+    """The connection dropped before a pending request was answered."""

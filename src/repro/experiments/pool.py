@@ -25,14 +25,21 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro.cache import ResultCache, cache_key, code_fingerprint, get_default_cache
-from repro.core import LifetimeResult, make_scheme
+from repro.core import make_scheme
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import simulate_lanes
 from repro.obs import registry as _metrics
 from repro.obs.registry import RegistrySnapshot
 from repro.obs.tracing import span as _span
 
-__all__ = ["SweepCell", "cell_for", "cell_key", "run_cell", "run_cells"]
+__all__ = [
+    "SweepCell",
+    "cell_cacheable",
+    "cell_for",
+    "cell_key",
+    "run_cell",
+    "run_cells",
+]
 
 _CELLS_RUN = _metrics.counter("sweep.cells_run")
 _CELLS_CACHED = _metrics.counter("sweep.cells_cached")
@@ -73,10 +80,15 @@ def cell_for(
     )
 
 
-def cell_key(cell: SweepCell) -> str:
-    """Content address of a cell's result (includes the code fingerprint)."""
-    return cache_key(
-        {
+def cell_key(cell) -> str:
+    """Content address of a cell's result (includes the code fingerprint).
+
+    :class:`SweepCell` keeps its historical key layout; any other cell
+    type provides a ``key_payload()`` dict (the generic cell protocol —
+    see :class:`repro.server.bench.ServerBenchCell`).
+    """
+    if isinstance(cell, SweepCell):
+        payload: dict = {
             "kind": "lifetime-cell",
             "scheme": cell.scheme,
             "page_bits": cell.page_bits,
@@ -84,13 +96,34 @@ def cell_key(cell: SweepCell) -> str:
             "seed": cell.seed,
             "lanes": cell.lanes,
             "kwargs": [[key, value] for key, value in cell.kwargs],
-            "code": code_fingerprint(),
         }
-    )
+    else:
+        payload = dict(cell.key_payload())
+    payload["code"] = code_fingerprint()
+    return cache_key(payload)
 
 
-def run_cell(cell: SweepCell) -> LifetimeResult:
-    """Simulate one cell (module-level so it pickles to pool workers)."""
+def cell_cacheable(cell) -> bool:
+    """May this cell's result be served from the cache?
+
+    Lifetime cells are always deterministic; generic cells opt out via a
+    ``cacheable`` attribute (e.g. a multi-client server bench whose
+    interleaving — and therefore device outcome — is timing-dependent).
+    """
+    return bool(getattr(cell, "cacheable", True))
+
+
+def run_cell(cell) -> object:
+    """Run one cell (module-level so it pickles to pool workers).
+
+    ``SweepCell`` runs a lifetime simulation; any other cell type runs its
+    own ``run()`` method (the generic cell protocol).
+    """
+    if not isinstance(cell, SweepCell):
+        with _span("sweep.cell", kind=type(cell).__name__):
+            result = cell.run()
+        _CELLS_RUN.inc()
+        return result
     scheme = make_scheme(
         cell.scheme, page_bits=cell.page_bits, **dict(cell.kwargs)
     )
@@ -110,8 +143,8 @@ def run_cell(cell: SweepCell) -> LifetimeResult:
 
 
 def _run_cell_observed(
-    cell: SweepCell, telemetry: bool
-) -> tuple[LifetimeResult, RegistrySnapshot | None]:
+    cell, telemetry: bool
+) -> tuple[object, RegistrySnapshot | None]:
     """Worker-side wrapper: run one cell and capture its telemetry.
 
     Workers inherit a fresh (or reused) process whose registry state is
@@ -131,20 +164,24 @@ def _run_cell_observed(
 
 
 def run_cells(
-    cells: list[SweepCell],
+    cells: list,
     config: ExperimentConfig | None = None,
     *,
     jobs: int | None = None,
     cache: ResultCache | None | bool = None,
-) -> list[LifetimeResult]:
+) -> list:
     """Run cells — cache-aware, optionally across processes.
 
-    Results come back in the order of ``cells`` no matter which worker
-    finishes first.  ``jobs`` defaults to ``config.jobs``; ``cache=None``
-    uses the default cache when ``config.cache`` is set, ``cache=False``
-    disables it, and an explicit :class:`~repro.cache.ResultCache` is used
-    as-is.  Cache reads/writes happen only in the parent process, so
-    workers stay write-free and the stats counters stay coherent.
+    Accepts :class:`SweepCell` lifetime cells and any generic cell
+    (``key_payload()`` + ``run()``, optional ``cacheable`` flag), mixed
+    freely.  Results come back in the order of ``cells`` no matter which
+    worker finishes first.  ``jobs`` defaults to ``config.jobs``;
+    ``cache=None`` uses the default cache when ``config.cache`` is set,
+    ``cache=False`` disables it, and an explicit
+    :class:`~repro.cache.ResultCache` is used as-is.  Cells whose outcome
+    is not deterministic (``cacheable == False``) always run live.  Cache
+    reads/writes happen only in the parent process, so workers stay
+    write-free and the stats counters stay coherent.
     """
     config = config or ExperimentConfig.from_env()
     if jobs is None:
@@ -153,10 +190,14 @@ def run_cells(
         cache = get_default_cache() if config.cache else None
     elif cache is False:
         cache = None
-    results: list[LifetimeResult | None] = [None] * len(cells)
+    results: list = [None] * len(cells)
     pending: list[int] = []
     for index, cell in enumerate(cells):
-        hit = cache.get(cell_key(cell)) if cache is not None else None
+        hit = (
+            cache.get(cell_key(cell))
+            if cache is not None and cell_cacheable(cell)
+            else None
+        )
         if hit is not None:
             results[index] = hit
             _CELLS_CACHED.inc()
@@ -180,5 +221,6 @@ def run_cells(
             results[index] = run_cell(cells[index])
     if cache is not None:
         for index in pending:
-            cache.put(cell_key(cells[index]), results[index])
+            if cell_cacheable(cells[index]):
+                cache.put(cell_key(cells[index]), results[index])
     return results

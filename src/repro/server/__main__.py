@@ -1,0 +1,7 @@
+"""``python -m repro.server`` — see :mod:`repro.server.runner`."""
+
+import sys
+
+from repro.server.runner import main
+
+sys.exit(main())

@@ -1,0 +1,179 @@
+"""Asyncio client for the block-storage service.
+
+A :class:`StorageClient` owns one TCP connection and supports arbitrary
+pipelining: every request gets a fresh ``request_id``, a background reader
+task matches responses back to their futures, and callers get concurrency
+simply by issuing several coroutines at once::
+
+    client = await StorageClient.connect("127.0.0.1", port)
+    await asyncio.gather(*(client.write(lpn, data[lpn]) for lpn in lpns))
+    bits = await client.read(lpns[0])
+    info = await client.stat()
+    await client.close()
+
+Typed server errors come back as the *same* exceptions the local
+:class:`~repro.ssd.device.SSD` raises (``ReadOnlyModeError``,
+``LogicalAddressError``, ``UncorrectableReadError``), so code written
+against the in-process device ports to the wire unchanged;
+service-specific failures raise :class:`~repro.errors.ServerBusyError`,
+:class:`~repro.errors.ProtocolError` or plain
+:class:`~repro.errors.ServerError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.errors import (
+    ConnectionLostError,
+    LogicalAddressError,
+    ProtocolError,
+    ReadOnlyModeError,
+    ServerBusyError,
+    ServerError,
+    UncorrectableReadError,
+)
+from repro.server import protocol
+from repro.server.protocol import Opcode, Request, Response, Status
+
+__all__ = ["StorageClient"]
+
+#: Status -> exception type for non-OK responses.
+_STATUS_ERRORS: dict[Status, type[Exception]] = {
+    Status.BAD_REQUEST: ServerError,
+    Status.OUT_OF_RANGE: LogicalAddressError,
+    Status.READ_ONLY: ReadOnlyModeError,
+    Status.UNCORRECTABLE: UncorrectableReadError,
+    Status.BUSY: ServerBusyError,
+    Status.INTERNAL: ServerError,
+}
+
+
+class StorageClient:
+    """One pipelined connection to a :class:`~repro.server.StorageService`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 1
+        self._pending: dict[int, tuple[Opcode, asyncio.Future]] = {}
+        self._closed = False
+        self._dead: Exception | None = None  # set once the read loop exits
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "StorageClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "StorageClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- public operations ---------------------------------------------------
+
+    async def read(self, lpn: int) -> np.ndarray:
+        """Read one logical page's dataword bits."""
+        response = await self._request(Request(Opcode.READ, 0, lpn=lpn))
+        return response.data
+
+    async def write(self, lpn: int, data: np.ndarray) -> None:
+        """Write one logical page; returns once the server acknowledged."""
+        await self._request(Request(Opcode.WRITE, 0, lpn=lpn,
+                                    data=np.asarray(data, dtype=np.uint8)))
+
+    async def trim(self, lpn: int) -> None:
+        """Discard one logical page."""
+        await self._request(Request(Opcode.TRIM, 0, lpn=lpn))
+
+    async def stat(self) -> dict:
+        """Device + server state (see ``StorageService._stat``)."""
+        response = await self._request(Request(Opcode.STAT, 0))
+        return response.stat
+
+    async def close(self) -> None:
+        """Close the connection; pending requests fail with ConnectionLost."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ConnectionLostError("client closed"))
+
+    # -- machinery -----------------------------------------------------------
+
+    async def _request(self, request: Request) -> Response:
+        if self._closed:
+            raise ConnectionLostError("client is closed")
+        if self._dead is not None:
+            # The read loop already exited; a new request's response could
+            # never be delivered, so fail fast instead of hanging.
+            raise ConnectionLostError(str(self._dead))
+        request_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        request = Request(request.opcode, request_id,
+                          lpn=request.lpn, data=request.data)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = (request.opcode, future)
+        try:
+            self._writer.write(protocol.encode_request(request))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionLostError(str(exc)) from exc
+        response = await future
+        if response.status is not Status.OK:
+            raise _STATUS_ERRORS[response.status](
+                response.message or response.status.name
+            )
+        return response
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                body = await protocol.read_frame(self._reader)
+                if body is None:
+                    self._fail_pending(
+                        ConnectionLostError("server closed the connection")
+                    )
+                    return
+                # Peek the request id to recover the awaited opcode, then
+                # decode with the right payload interpretation.
+                request_id = int.from_bytes(body[1:5], "big")
+                entry = self._pending.pop(request_id, None)
+                if entry is None:
+                    continue  # stale/unknown id; nothing is waiting
+                opcode, future = entry
+                try:
+                    response = protocol.decode_response(body, expect=opcode)
+                except ProtocolError as exc:
+                    if not future.done():
+                        future.set_exception(exc)
+                    continue
+                if not future.done():
+                    future.set_result(response)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._fail_pending(ConnectionLostError(str(exc)))
+        except asyncio.CancelledError:
+            raise
+
+    def _fail_pending(self, error: Exception) -> None:
+        self._dead = error
+        pending, self._pending = self._pending, {}
+        for _opcode, future in pending.values():
+            if not future.done():
+                future.set_exception(error)

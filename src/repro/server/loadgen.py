@@ -1,0 +1,305 @@
+"""Open- and closed-loop load generators with latency percentiles.
+
+Rewriting-code behavior is workload-dependent, so the generators reuse the
+exact :mod:`repro.ssd.workload` distributions the offline simulator runs
+(uniform / hotcold / zipf / sequential), consumed through the shared
+iterator protocol (``next(workload)``).
+
+Two loop disciplines, the standard pair from storage benchmarking:
+
+* **closed loop** — ``clients`` connections, each with exactly one request
+  outstanding; offered load adapts to service capacity.  Concurrency is
+  the knob; the coalescer sees up to ``clients`` writes per flush.
+* **open loop** — requests are issued on a fixed schedule (``rate`` per
+  second) regardless of completions, so queueing delay shows up in the
+  tail latencies instead of silently throttling the generator (avoiding
+  coordinated omission).  Against a server in ``admission="reject"`` mode
+  the shed requests are counted as ``busy``.
+
+Latencies are recorded per request and reported as exact sample
+percentiles (p50/p95/p99) plus achieved IOPS; the same numbers are also
+published to :mod:`repro.obs` (``loadgen.*``) so ``--metrics-out`` exports
+them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLostError,
+    ReadOnlyModeError,
+    ReproError,
+    ServerBusyError,
+)
+from repro.obs import registry as _metrics
+from repro.obs.registry import TIME_BUCKETS
+from repro.obs.tracing import span as _span
+from repro.server.client import StorageClient
+from repro.ssd.workload import (
+    HotColdWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    Workload,
+    ZipfWorkload,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "LoadgenResult",
+    "make_workload",
+    "run_closed_loop",
+    "run_open_loop",
+    "closed_loop",
+    "open_loop",
+]
+
+WORKLOADS: dict[str, type[Workload]] = {
+    "uniform": UniformWorkload,
+    "hotcold": HotColdWorkload,
+    "zipf": ZipfWorkload,
+    "sequential": SequentialWorkload,
+}
+
+_LG_REQUESTS = _metrics.counter("loadgen.requests")
+_LG_ERRORS = _metrics.counter("loadgen.errors")
+_LG_BUSY = _metrics.counter("loadgen.busy")
+_LG_LATENCY = _metrics.histogram("loadgen.latency_seconds", TIME_BUCKETS)
+
+
+def make_workload(
+    name: str, logical_pages: int, seed: int, **kwargs
+) -> Workload:
+    """Instantiate one of the shared workload distributions by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r} (have: {sorted(WORKLOADS)})"
+        ) from None
+    return factory(logical_pages, seed=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Outcome of one load-generation run (picklable primitives only)."""
+
+    mode: str              # "closed" or "open"
+    clients: int
+    ops: int               # completed requests (any status)
+    reads: int
+    writes: int
+    errors: int            # typed failures other than BUSY
+    busy: int              # admission-control rejections observed
+    wall_seconds: float
+    achieved_iops: float
+    offered_iops: float | None  # open loop only (the schedule's rate)
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+    def summary_line(self) -> str:
+        offered = (
+            f" offered={self.offered_iops:.0f}/s"
+            if self.offered_iops is not None else ""
+        )
+        return (
+            f"{self.mode} loop: {self.ops} ops, {self.clients} clients,"
+            f"{offered} {self.achieved_iops:.0f} IOPS, "
+            f"p50={self.p50_ms:.2f}ms p95={self.p95_ms:.2f}ms "
+            f"p99={self.p99_ms:.2f}ms"
+            + (f", {self.busy} busy" if self.busy else "")
+            + (f", {self.errors} errors" if self.errors else "")
+        )
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Exact sample percentile (nearest-rank) of an ascending list."""
+    if not sorted_ms:
+        return 0.0
+    rank = max(1, int(np.ceil(q * len(sorted_ms))))
+    return sorted_ms[rank - 1]
+
+
+class _Tally:
+    """Mutable accumulator shared by all generator tasks of one run."""
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []  # seconds
+        self.reads = 0
+        self.writes = 0
+        self.errors = 0
+        self.busy = 0
+
+    def record(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+        _LG_REQUESTS.inc()
+        _LG_LATENCY.observe(seconds)
+
+    def result(
+        self, mode: str, clients: int, wall: float, offered: float | None
+    ) -> LoadgenResult:
+        ms = sorted(lat * 1e3 for lat in self.latencies)
+        ops = len(ms)
+        return LoadgenResult(
+            mode=mode,
+            clients=clients,
+            ops=ops,
+            reads=self.reads,
+            writes=self.writes,
+            errors=self.errors,
+            busy=self.busy,
+            wall_seconds=wall,
+            achieved_iops=ops / wall if wall > 0 else 0.0,
+            offered_iops=offered,
+            p50_ms=_percentile(ms, 0.50),
+            p95_ms=_percentile(ms, 0.95),
+            p99_ms=_percentile(ms, 0.99),
+            mean_ms=float(np.mean(ms)) if ms else 0.0,
+            max_ms=ms[-1] if ms else 0.0,
+        )
+
+
+async def _issue(
+    client: StorageClient,
+    tally: _Tally,
+    lpn: int,
+    data: np.ndarray | None,
+) -> bool:
+    """One timed request; returns False when the device is end-of-life."""
+    start = time.perf_counter()
+    try:
+        if data is None:
+            await client.read(lpn)
+            tally.reads += 1
+        else:
+            await client.write(lpn, data)
+            tally.writes += 1
+    except ServerBusyError:
+        tally.busy += 1
+        _LG_BUSY.inc()
+    except ReadOnlyModeError:
+        tally.errors += 1
+        _LG_ERRORS.inc()
+        tally.record(time.perf_counter() - start)
+        return False  # device is dead for writes; stop hammering it
+    except (ReproError, ConnectionLostError):
+        tally.errors += 1
+        _LG_ERRORS.inc()
+    tally.record(time.perf_counter() - start)
+    return True
+
+
+async def _fetch_geometry(host: str, port: int) -> tuple[int, int]:
+    """(logical_pages, dataword_bits) from a throwaway STAT request."""
+    async with await StorageClient.connect(host, port) as client:
+        info = await client.stat()
+    return info["logical_pages"], info["dataword_bits"]
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    clients: int = 4,
+    ops_per_client: int = 100,
+    workload: str = "uniform",
+    read_fraction: float = 0.0,
+    seed: int = 0,
+    **workload_kwargs,
+) -> LoadgenResult:
+    """``clients`` connections, one outstanding request each."""
+    if clients < 1 or ops_per_client < 1:
+        raise ConfigurationError("need at least one client and one op")
+    if not 0 <= read_fraction <= 1:
+        raise ConfigurationError("read_fraction must lie in [0, 1]")
+    logical_pages, bits = await _fetch_geometry(host, port)
+    tally = _Tally()
+
+    async def one_client(index: int) -> None:
+        stream = make_workload(
+            workload, logical_pages, seed + index, **workload_kwargs
+        )
+        mix = np.random.default_rng((seed, index, 0xC1))
+        async with await StorageClient.connect(host, port) as client:
+            for _ in range(ops_per_client):
+                lpn = next(stream)
+                if mix.random() < read_fraction:
+                    alive = await _issue(client, tally, lpn, None)
+                else:
+                    alive = await _issue(
+                        client, tally, lpn, stream.next_data(bits)
+                    )
+                if not alive:
+                    break
+
+    with _span("loadgen.run", mode="closed", clients=clients):
+        start = time.perf_counter()
+        await asyncio.gather(*(one_client(i) for i in range(clients)))
+        wall = time.perf_counter() - start
+    return tally.result("closed", clients, wall, offered=None)
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    total_ops: int = 100,
+    workload: str = "uniform",
+    read_fraction: float = 0.0,
+    seed: int = 0,
+    **workload_kwargs,
+) -> LoadgenResult:
+    """Issue ``total_ops`` requests at ``rate`` per second, pipelined.
+
+    The schedule never waits for completions: a slow server accumulates
+    in-flight requests (and queueing latency) instead of slowing the
+    generator down.
+    """
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if total_ops < 1:
+        raise ConfigurationError("need at least one op")
+    if not 0 <= read_fraction <= 1:
+        raise ConfigurationError("read_fraction must lie in [0, 1]")
+    logical_pages, bits = await _fetch_geometry(host, port)
+    tally = _Tally()
+    stream = make_workload(workload, logical_pages, seed, **workload_kwargs)
+    mix = np.random.default_rng((seed, 0xA9))
+    with _span("loadgen.run", mode="open", rate=rate, total_ops=total_ops):
+        async with await StorageClient.connect(host, port) as client:
+            start = time.perf_counter()
+            tasks = []
+            for k in range(total_ops):
+                delay = start + k / rate - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                lpn = next(stream)
+                data = (
+                    None if mix.random() < read_fraction
+                    else stream.next_data(bits)
+                )
+                tasks.append(
+                    asyncio.ensure_future(_issue(client, tally, lpn, data))
+                )
+            await asyncio.gather(*tasks)
+            wall = time.perf_counter() - start
+    return tally.result("open", 1, wall, offered=rate)
+
+
+def closed_loop(host: str, port: int, **kwargs) -> LoadgenResult:
+    """Synchronous wrapper around :func:`run_closed_loop`."""
+    return asyncio.run(run_closed_loop(host, port, **kwargs))
+
+
+def open_loop(host: str, port: int, **kwargs) -> LoadgenResult:
+    """Synchronous wrapper around :func:`run_open_loop`."""
+    return asyncio.run(run_open_loop(host, port, **kwargs))

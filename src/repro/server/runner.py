@@ -1,0 +1,329 @@
+"""Command-line entry points for the serving layer.
+
+Two subcommands::
+
+    # stand up a server (ephemeral port unless --port is given); SIGINT or
+    # SIGTERM triggers a graceful stop and flushes --metrics-out/--trace-out
+    python -m repro.server serve --scheme mfc-1/2-1bpc --port 7631
+
+    # loopback concurrency sweep through the sweep fabric (--jobs/--cache),
+    # or drive an already-running server with --connect
+    python -m repro.server bench --clients 1 4 16
+    python -m repro.server bench --connect 127.0.0.1:7631 --ops 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import socket
+import sys
+import time
+
+from repro.errors import ConfigurationError
+from repro.experiments.pool import run_cells
+from repro.flash.geometry import FlashGeometry
+from repro.obs import registry as _metrics
+from repro.obs.export import write_metrics, write_trace
+from repro.server.bench import ServerBenchCell, ServerBenchResult
+from repro.server.loadgen import (
+    WORKLOADS,
+    LoadgenResult,
+    closed_loop,
+    open_loop,
+)
+from repro.server.service import ServerConfig, StorageService
+from repro.ssd.device import SSD
+
+__all__ = ["main"]
+
+
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("device", "the simulated SSD to front")
+    group.add_argument("--scheme", default="mfc-1/2-1bpc")
+    group.add_argument("--blocks", type=int, default=16)
+    group.add_argument("--pages-per-block", type=int, default=16)
+    group.add_argument("--page-bytes", type=int, default=512)
+    group.add_argument("--erase-limit", type=int, default=10_000)
+    group.add_argument("--utilization", type=float, default=0.5)
+    group.add_argument("--constraint-length", type=int, default=7,
+                       help="trellis size for MFC schemes")
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("server", "serving-layer knobs")
+    group.add_argument("--max-batch", type=int, default=32,
+                       help="WRITEs coalesced into one device flush")
+    group.add_argument("--queue-depth", type=int, default=256,
+                       help="global pending-request bound")
+    group.add_argument("--credit-window", type=int, default=64,
+                       help="per-connection un-answered request bound")
+    group.add_argument("--admission", choices=("block", "reject"),
+                       default="block",
+                       help="full queue: block readers or answer BUSY")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a Prometheus-style metrics dump here "
+                             "(implies telemetry collection)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the JSON-lines span trace here "
+                             "(implies telemetry collection)")
+
+
+def _scheme_kwargs(args: argparse.Namespace) -> dict:
+    if args.scheme.startswith("mfc") and args.scheme != "mfc-ecc":
+        return {"constraint_length": args.constraint_length}
+    return {}
+
+
+def _make_ssd(args: argparse.Namespace) -> SSD:
+    geometry = FlashGeometry(
+        blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        page_bits=args.page_bytes * 8,
+        erase_limit=args.erase_limit,
+    )
+    return SSD(
+        geometry=geometry,
+        scheme=args.scheme,
+        utilization=args.utilization,
+        **_scheme_kwargs(args),
+    )
+
+
+def _server_config(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        credit_window=args.credit_window,
+        admission=args.admission,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a simulated SSD over TCP, or benchmark one.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the block-storage service until SIGINT/SIGTERM"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port (printed at startup)")
+    _add_device_args(serve)
+    _add_server_args(serve)
+    _add_obs_args(serve)
+
+    bench = commands.add_parser(
+        "bench", help="drive a server with the load generator"
+    )
+    bench.add_argument("--connect", metavar="HOST:PORT",
+                       help="drive an already-running server instead of "
+                            "spinning loopback servers")
+    bench.add_argument("--connect-timeout", type=float, default=10.0,
+                       help="seconds to wait for --connect to accept")
+    bench.add_argument("--mode", choices=("closed", "open"), default="closed")
+    bench.add_argument("--clients", type=int, nargs="+", default=[1, 4, 16],
+                       help="closed-loop concurrency sweep points")
+    bench.add_argument("--ops", type=int, default=100,
+                       help="requests per client")
+    bench.add_argument("--rate", type=float, default=500.0,
+                       help="open loop: offered requests per second")
+    bench.add_argument("--read-fraction", type=float, default=0.0)
+    bench.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="uniform")
+    bench.add_argument("--seed", type=int, default=2016)
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="loopback sweep: worker processes (one loopback "
+                            "server per cell)")
+    bench.add_argument("--cache", action="store_true",
+                       help="loopback sweep: serve deterministic cells from "
+                            "the result cache")
+    _add_device_args(bench)
+    _add_server_args(bench)
+    _add_obs_args(bench)
+
+    args = parser.parse_args(argv)
+    if args.metrics_out or args.trace_out:
+        _metrics.set_enabled(True)
+    try:
+        if args.command == "serve":
+            code = asyncio.run(_serve(args))
+        else:
+            code = _bench(args)
+    except ConfigurationError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics_out:
+        write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", flush=True)
+    if args.trace_out:
+        write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", flush=True)
+    return code
+
+
+# -- serve --------------------------------------------------------------------
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    ssd = _make_ssd(args)
+    service = StorageService(ssd, _server_config(args))
+    await service.start(host=args.host, port=args.port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-Unix loops
+            signal.signal(
+                signum,
+                lambda *_: loop.call_soon_threadsafe(stop.set),
+            )
+    print(
+        f"serving {ssd.scheme_name} "
+        f"({ssd.logical_pages} pages x {ssd.logical_page_bits} bits) "
+        f"on {args.host}:{service.port}",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        await service.stop()
+    stats = service.stats
+    print(
+        f"stopped: {stats.requests} requests "
+        f"({stats.reads} reads, {stats.writes} writes, "
+        f"{stats.trims} trims, {stats.stat_requests} stat), "
+        f"{stats.batches} flushes, max batch {stats.max_batch_size}, "
+        f"device {ssd.lifetime_state}",
+        flush=True,
+    )
+    return 0
+
+
+# -- bench --------------------------------------------------------------------
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ConfigurationError(
+            f"--connect expects HOST:PORT, got {value!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _wait_ready(host: str, port: int, timeout: float) -> None:
+    """Poll until the server accepts connections (CI races serve startup)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ConfigurationError(
+                    f"no server accepting at {host}:{port} "
+                    f"after {timeout:.0f}s"
+                ) from None
+            time.sleep(0.1)
+
+
+_HEADER = (
+    f"{'clients':>7} {'mode':>6} {'ops':>6} {'IOPS':>8} "
+    f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'busy':>5} {'errors':>6}"
+)
+
+
+def _result_row(result: LoadgenResult) -> str:
+    return (
+        f"{result.clients:>7} {result.mode:>6} {result.ops:>6} "
+        f"{result.achieved_iops:>8.0f} {result.p50_ms:>8.2f} "
+        f"{result.p95_ms:>8.2f} {result.p99_ms:>8.2f} "
+        f"{result.busy:>5} {result.errors:>6}"
+    )
+
+
+def _bench(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _bench_connect(args)
+    return _bench_loopback(args)
+
+
+def _bench_connect(args: argparse.Namespace) -> int:
+    """Drive an external server once per --clients sweep point."""
+    host, port = _parse_hostport(args.connect)
+    _wait_ready(host, port, args.connect_timeout)
+    print(_HEADER)
+    for clients in args.clients:
+        if args.mode == "open":
+            result = open_loop(
+                host, port,
+                rate=args.rate,
+                total_ops=clients * args.ops,
+                workload=args.workload,
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+            )
+        else:
+            result = closed_loop(
+                host, port,
+                clients=clients,
+                ops_per_client=args.ops,
+                workload=args.workload,
+                read_fraction=args.read_fraction,
+                seed=args.seed,
+            )
+        print(_result_row(result), flush=True)
+    return 0
+
+
+def _bench_loopback(args: argparse.Namespace) -> int:
+    """Concurrency sweep over self-contained loopback cells."""
+    cells = [
+        ServerBenchCell(
+            scheme=args.scheme,
+            page_bits=args.page_bytes * 8,
+            blocks=args.blocks,
+            pages_per_block=args.pages_per_block,
+            erase_limit=args.erase_limit,
+            utilization=args.utilization,
+            mode=args.mode,
+            clients=clients,
+            ops_per_client=args.ops,
+            rate=args.rate if args.mode == "open" else None,
+            read_fraction=args.read_fraction,
+            workload=args.workload,
+            seed=args.seed,
+            max_batch=args.max_batch,
+            queue_depth=args.queue_depth,
+            credit_window=args.credit_window,
+            admission=args.admission,
+            kwargs=tuple(sorted(_scheme_kwargs(args).items())),
+        )
+        for clients in args.clients
+    ]
+    results: list[ServerBenchResult] = run_cells(
+        cells, jobs=args.jobs, cache=None if args.cache else False
+    )
+    print(_HEADER + f" {'flushes':>7} {'maxB':>4} {'state':>9}")
+    for result in results:
+        print(
+            _result_row(result.loadgen)
+            + f" {result.batches:>7} {result.max_batch_size:>4} "
+              f"{result.lifetime_state:>9}",
+            flush=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,535 @@
+"""Asyncio block-storage service fronting an :class:`~repro.ssd.device.SSD`.
+
+The service turns the offline device simulator into something that *serves
+traffic*: concurrent TCP clients issue READ/WRITE/TRIM/STAT requests (see
+:mod:`repro.server.protocol`) and the server drives one SSD instance on
+their behalf.  Three mechanisms make that scale:
+
+**Write coalescing.**  All device work funnels through one queue consumed
+by a single device loop.  When the head of the queue is a WRITE, the loop
+drains every *contiguously following* WRITE (up to ``max_batch``) and
+issues them as one :meth:`~repro.ssd.device.SSD.write_batch` call — a
+single lockstep Viterbi search amortized over every lane, exactly the
+batched engine's sweet spot.  Contiguity preserves total order: a READ
+never jumps ahead of the WRITEs queued before it, so once a client has an
+acknowledgement its next read observes that write, regardless of which
+connection it arrives on.
+
+**A real async data path.**  Device calls (pure Python compute) run on a
+dedicated single-worker thread, so the event loop keeps accepting frames
+while the Viterbi search grinds — which is precisely what lets the queue
+accumulate the next coalescable batch.  The single worker also makes the
+SSD's single-threaded mutation model safe by construction.
+
+**Admission control and backpressure.**  Two bounds protect the server:
+a per-connection *credit window* (a connection with ``credit_window``
+un-answered requests stops being read, pushing backpressure into the
+client's TCP socket) and a global *queue depth*.  With the default
+``admission="block"`` a full queue also pauses readers; with
+``admission="reject"`` the service sheds load instead, answering
+``Status.BUSY`` immediately so open-loop generators can measure the shed
+rate.  Once the device latches end-of-life read-only mode every write is
+answered with the typed ``Status.READ_ONLY`` error while reads keep
+serving — the wire-level version of the PR 1 graceful-degradation
+contract.
+
+Every request is counted and timed into :mod:`repro.obs`
+(``server.requests``, ``server.queue_depth``, ``server.batch_size`` and
+``server.request_seconds`` histograms) and spans are emitted per request
+and per flush, so ``--metrics-out``/``--trace-out`` expose the full
+serving path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    LogicalAddressError,
+    OutOfSpaceError,
+    ProgramFailedError,
+    ProtocolError,
+    ReadOnlyModeError,
+    ReproError,
+    UncorrectableReadError,
+)
+from repro.obs import registry as _metrics
+from repro.obs.registry import TIME_BUCKETS
+from repro.obs.tracing import span as _span
+from repro.server import protocol
+from repro.server.protocol import Opcode, Request, Response, Status
+from repro.ssd.device import SSD
+
+__all__ = ["ServerConfig", "ServerStats", "StorageService"]
+
+_REQUESTS = _metrics.counter("server.requests")
+_READS = _metrics.counter("server.reads")
+_WRITES = _metrics.counter("server.writes")
+_TRIMS = _metrics.counter("server.trims")
+_STATS = _metrics.counter("server.stat_requests")
+_ERRORS = _metrics.counter("server.errors")
+_REJECTED = _metrics.counter("server.rejected")
+_BATCHES = _metrics.counter("server.batches")
+_COALESCED = _metrics.counter("server.coalesced_writes")
+_CONNECTIONS = _metrics.counter("server.connections")
+_QUEUE_DEPTH = _metrics.gauge("server.queue_depth")
+
+#: Batch-size buckets: powers of two up to the largest sensible window.
+BATCH_BUCKETS = tuple(float(2**k) for k in range(9))
+_BATCH_SIZE = _metrics.histogram("server.batch_size", BATCH_BUCKETS)
+_LATENCY = _metrics.histogram("server.request_seconds", TIME_BUCKETS)
+
+_OP_COUNTERS = {
+    Opcode.READ: _READS,
+    Opcode.WRITE: _WRITES,
+    Opcode.TRIM: _TRIMS,
+    Opcode.STAT: _STATS,
+}
+
+#: Opcode -> ServerStats attribute bumped alongside the obs counter.
+_OP_FIELDS = {
+    Opcode.READ: "reads",
+    Opcode.WRITE: "writes",
+    Opcode.TRIM: "trims",
+    Opcode.STAT: "stat_requests",
+}
+
+#: Queue sentinel that tells the device loop to exit.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving layer (device knobs live on the SSD itself)."""
+
+    max_batch: int = 32         # WRITEs coalesced into one write_batch call
+    queue_depth: int = 256      # global pending-request bound
+    credit_window: int = 64     # per-connection un-answered request bound
+    admission: str = "block"    # "block" = backpressure, "reject" = BUSY
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be at least 1")
+        if self.credit_window < 1:
+            raise ConfigurationError("credit_window must be at least 1")
+        if self.admission not in ("block", "reject"):
+            raise ConfigurationError(
+                f"admission must be 'block' or 'reject', got "
+                f"{self.admission!r}"
+            )
+
+
+@dataclass
+class ServerStats:
+    """Always-on service accounting (cheap ints; exposed through STAT)."""
+
+    connections: int = 0
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    trims: int = 0
+    stat_requests: int = 0
+    errors: int = 0          # non-OK responses sent
+    rejected: int = 0        # BUSY shed by admission control
+    protocol_errors: int = 0  # connections dropped over framing violations
+    batches: int = 0         # write_batch flushes issued
+    coalesced_writes: int = 0  # writes that shared a flush with >= 1 other
+    max_batch_size: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Op:
+    """One admitted request waiting for (or undergoing) device execution."""
+
+    __slots__ = ("request", "conn", "arrival")
+
+    def __init__(self, request: Request, conn: "_Connection") -> None:
+        self.request = request
+        self.conn = conn
+        self.arrival = time.perf_counter()
+
+
+class _Connection:
+    """Per-connection reader state, response queue, and credit window."""
+
+    __slots__ = ("reader", "writer", "credits", "_out", "_writer_task")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        credit_window: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.credits = asyncio.Semaphore(credit_window)
+        self._out: asyncio.Queue = asyncio.Queue()
+        self._writer_task = asyncio.create_task(self._write_loop())
+
+    def respond(self, payload: bytes) -> None:
+        """Queue one encoded response frame for transmission."""
+        self._out.put_nowait(payload)
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                payload = await self._out.get()
+                if payload is None:
+                    break
+                self.writer.write(payload)
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer vanished; the read loop notices and cleans up
+
+    async def close(self) -> None:
+        self._out.put_nowait(None)
+        try:
+            await self._writer_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class StorageService:
+    """TCP front end for one SSD; see the module docstring for the design.
+
+    Usage::
+
+        service = StorageService(ssd)
+        await service.start(port=0)        # ephemeral port for tests
+        ...                                # service.port is now bound
+        await service.stop()
+
+    or ``async with StorageService(ssd) as service: ...``.
+    """
+
+    def __init__(self, ssd: SSD, config: ServerConfig | None = None) -> None:
+        self.ssd = ssd
+        self.config = config or ServerConfig()
+        self.stats = ServerStats()
+        self._server: asyncio.base_events.Server | None = None
+        self._device_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._queue: asyncio.Queue | None = None
+        self._connections: set[_Connection] = set()
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        if self._server is not None:
+            raise ConfigurationError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-device"
+        )
+        self._device_task = asyncio.create_task(self._device_loop())
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigurationError("service not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, finish queued work, release all resources."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # Retire the connection handlers before the device loop: a handler
+        # parked on a full queue (block mode) would otherwise never wake.
+        for task in list(self._handler_tasks):
+            task.cancel()
+        if self._handler_tasks:
+            await asyncio.gather(*self._handler_tasks, return_exceptions=True)
+        self._handler_tasks.clear()
+        await self._queue.put(_SHUTDOWN)
+        await self._device_task
+        self._device_task = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "StorageService":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer, self.config.credit_window)
+        self._connections.add(conn)
+        self._handler_tasks.add(asyncio.current_task())
+        self.stats.connections += 1
+        _CONNECTIONS.inc()
+        try:
+            while True:
+                body = await protocol.read_frame(
+                    reader, self.config.max_frame_bytes
+                )
+                if body is None:
+                    break
+                try:
+                    request = protocol.decode_request(body)
+                except ProtocolError as exc:
+                    # The frame boundary held, so the stream stays usable:
+                    # answer with a typed error instead of disconnecting.
+                    self._send_error(conn, _request_id_of(body),
+                                     Status.BAD_REQUEST, str(exc))
+                    continue
+                await self._admit(conn, request)
+        except ProtocolError:
+            # Framing is broken (truncated/oversized frame): the stream
+            # cannot be re-synchronized, so the connection must die.
+            self.stats.protocol_errors += 1
+            _ERRORS.inc()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # stop() retires handlers; fall through to cleanup
+        finally:
+            self._handler_tasks.discard(asyncio.current_task())
+            self._connections.discard(conn)
+            await conn.close()
+
+    async def _admit(self, conn: _Connection, request: Request) -> None:
+        """Admission control: credit window first, then the global queue."""
+        await conn.credits.acquire()  # pauses this reader at the window cap
+        op = _Op(request, conn)
+        if self.config.admission == "reject":
+            try:
+                self._queue.put_nowait(op)
+            except asyncio.QueueFull:
+                conn.credits.release()
+                self.stats.rejected += 1
+                _REJECTED.inc()
+                self._send_error(conn, request.request_id, Status.BUSY,
+                                 "server queue is full")
+                return
+        else:
+            await self._queue.put(op)  # blocks the reader: backpressure
+        _QUEUE_DEPTH.set(self._queue.qsize())
+
+    def _send_error(
+        self, conn: _Connection, request_id: int, status: Status, message: str
+    ) -> None:
+        self.stats.errors += 1
+        _ERRORS.inc()
+        conn.respond(protocol.encode_response(
+            Response(status, request_id, message=message)
+        ))
+
+    # -- device loop ---------------------------------------------------------
+
+    async def _device_loop(self) -> None:
+        """Single consumer of the op queue; owns all SSD access."""
+        loop = asyncio.get_running_loop()
+        pending = None
+        while True:
+            op = pending if pending is not None else await self._queue.get()
+            pending = None
+            if op is _SHUTDOWN:
+                break
+            if op.request.opcode is Opcode.WRITE:
+                batch = [op]
+                while len(batch) < self.config.max_batch:
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if nxt is _SHUTDOWN or nxt.request.opcode is not Opcode.WRITE:
+                        pending = nxt  # defer: order must be preserved
+                        break
+                    batch.append(nxt)
+                _QUEUE_DEPTH.set(self._queue.qsize())
+                replies = await loop.run_in_executor(
+                    self._executor, self._execute_write_batch, batch
+                )
+            else:
+                _QUEUE_DEPTH.set(self._queue.qsize())
+                replies = await loop.run_in_executor(
+                    self._executor, self._execute_one, op
+                )
+            for finished, payload in replies:
+                self._finish(finished, payload)
+
+    def _finish(self, op: _Op, payload: bytes) -> None:
+        """Account one completed request and hand its reply to the writer."""
+        _LATENCY.observe(time.perf_counter() - op.arrival)
+        self.stats.requests += 1
+        _REQUESTS.inc()
+        field = _OP_FIELDS[op.request.opcode]
+        setattr(self.stats, field, getattr(self.stats, field) + 1)
+        _OP_COUNTERS[op.request.opcode].inc()
+        op.conn.credits.release()
+        op.conn.respond(payload)
+
+    # -- device-side execution (runs on the single worker thread) ------------
+
+    def _execute_write_batch(self, batch: list[_Op]) -> list[tuple[_Op, bytes]]:
+        """Flush a contiguous run of WRITEs as one coalesced device call."""
+        self.stats.batches += 1
+        _BATCHES.inc()
+        _BATCH_SIZE.observe(len(batch))
+        if len(batch) > 1:
+            self.stats.coalesced_writes += len(batch)
+            _COALESCED.inc(len(batch))
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        dataword_bits = self.ssd.logical_page_bits
+        logical_pages = self.ssd.logical_pages
+        results: dict[int, Response] = {}
+        lanes: list[_Op] = []
+        with _span("server.flush", batch=len(batch)) as flush_event:
+            for op in batch:
+                request = op.request
+                if not 0 <= request.lpn < logical_pages:
+                    results[id(op)] = Response(
+                        Status.OUT_OF_RANGE, request.request_id,
+                        message=f"LPN {request.lpn} outside "
+                                f"[0, {logical_pages})",
+                    )
+                elif request.data.shape != (dataword_bits,):
+                    results[id(op)] = Response(
+                        Status.BAD_REQUEST, request.request_id,
+                        message=f"logical pages hold {dataword_bits} bits, "
+                                f"got {request.data.shape[0]}",
+                    )
+                else:
+                    lanes.append(op)
+            if lanes:
+                try:
+                    self.ssd.write_batch(
+                        [op.request.lpn for op in lanes],
+                        np.stack([op.request.data for op in lanes]),
+                    )
+                except (ReadOnlyModeError, OutOfSpaceError,
+                        ProgramFailedError) as exc:
+                    # The device just latched (or already was) read-only.
+                    # Individual lane outcomes of a failed flush are not
+                    # reported by the FTL, so every lane gets the typed
+                    # end-of-life error; acknowledged earlier writes are
+                    # unaffected and stay readable.
+                    for op in lanes:
+                        results[id(op)] = Response(
+                            Status.READ_ONLY, op.request.request_id,
+                            message=str(exc),
+                        )
+                except ReproError as exc:
+                    for op in lanes:
+                        results[id(op)] = Response(
+                            Status.INTERNAL, op.request.request_id,
+                            message=str(exc),
+                        )
+                else:
+                    for op in lanes:
+                        results[id(op)] = Response(
+                            Status.OK, op.request.request_id
+                        )
+            replies = []
+            ok = 0
+            for op in batch:
+                response = results[id(op)]
+                if response.status is Status.OK:
+                    ok += 1
+                else:
+                    self.stats.errors += 1
+                    _ERRORS.inc()
+                with _span(
+                    "server.request", op="WRITE", lpn=op.request.lpn,
+                    status=response.status.name,
+                ):
+                    replies.append((op, protocol.encode_response(response)))
+            if flush_event is not None:
+                flush_event["attrs"]["ok"] = ok
+        return replies
+
+    def _execute_one(self, op: _Op) -> list[tuple[_Op, bytes]]:
+        """Execute one non-WRITE request on the device thread."""
+        request = op.request
+        with _span(
+            "server.request", op=request.opcode.name, lpn=request.lpn
+        ) as event:
+            response = self._apply(request)
+            if event is not None:
+                event["attrs"]["status"] = response.status.name
+        if response.status is not Status.OK:
+            self.stats.errors += 1
+            _ERRORS.inc()
+        return [(op, protocol.encode_response(response))]
+
+    def _apply(self, request: Request) -> Response:
+        try:
+            if request.opcode is Opcode.READ:
+                data = self.ssd.read(request.lpn)
+                return Response(Status.OK, request.request_id, data=data)
+            if request.opcode is Opcode.TRIM:
+                self.ssd.trim(request.lpn)
+                return Response(Status.OK, request.request_id)
+            return Response(Status.OK, request.request_id, stat=self._stat())
+        except LogicalAddressError as exc:
+            return Response(Status.OUT_OF_RANGE, request.request_id,
+                            message=str(exc))
+        except ReadOnlyModeError as exc:
+            return Response(Status.READ_ONLY, request.request_id,
+                            message=str(exc))
+        except UncorrectableReadError as exc:
+            return Response(Status.UNCORRECTABLE, request.request_id,
+                            message=str(exc))
+        except ReproError as exc:
+            return Response(Status.INTERNAL, request.request_id,
+                            message=str(exc))
+
+    def _stat(self) -> dict:
+        """The STAT payload: device health + server accounting."""
+        ssd = self.ssd
+        return {
+            "scheme": ssd.scheme_name,
+            "logical_pages": ssd.logical_pages,
+            "dataword_bits": ssd.logical_page_bits,
+            "lifetime_state": ssd.lifetime_state,
+            "read_only": ssd.read_only,
+            "wear_spread": ssd.wear_spread(),
+            "ftl": ssd.ftl.stats.summary(),
+            "server": self.stats.summary(),
+            "config": {
+                "max_batch": self.config.max_batch,
+                "queue_depth": self.config.queue_depth,
+                "credit_window": self.config.credit_window,
+                "admission": self.config.admission,
+            },
+        }
+
+
+def _request_id_of(body: bytes) -> int:
+    """Best-effort request-id extraction from a malformed request body."""
+    if len(body) >= 5:
+        return int.from_bytes(body[1:5], "big")
+    return 0

@@ -129,6 +129,26 @@ class SSD:
         """True once the device has latched into end-of-life read-only mode."""
         return self._read_only
 
+    @property
+    def lifetime_state(self) -> str:
+        """Public end-of-life state: ``healthy``, ``degraded``, ``read_only``.
+
+        ``degraded`` means the FTL has already absorbed damage (failed
+        programs, retired blocks, uncorrectable reads) but still accepts
+        writes.  Callers — the serving layer in particular — should use
+        this instead of poking ``ssd.ftl`` internals.
+        """
+        if self._read_only:
+            return "read_only"
+        stats = self.ftl.stats
+        if (
+            stats.program_failures
+            or stats.retired_blocks
+            or stats.uncorrectable_reads
+        ):
+            return "degraded"
+        return "healthy"
+
     def enter_read_only(self) -> None:
         """Latch the device read-only (idempotent, never un-latched)."""
         self._read_only = True
@@ -149,8 +169,43 @@ class SSD:
             self.enter_read_only()
             raise
 
+    def write_batch(self, lpns, datawords: np.ndarray) -> None:
+        """Write several logical pages, coalescing the in-place encodes.
+
+        Rewriting devices route the batch through
+        :meth:`~repro.ftl.rewriting_ftl.RewritingFTL.write_batch` (one
+        lockstep Viterbi search for every mapped page); uncoded devices
+        fall back to sequential writes.  End-of-life semantics match
+        :meth:`write`: the device latches read-only on the first
+        unrecoverable failure and the original error propagates.
+        """
+        if self._read_only:
+            raise ReadOnlyModeError(
+                "device is in end-of-life read-only mode; stored data "
+                "remains readable"
+            )
+        datawords = np.asarray(datawords, dtype=np.uint8)
+        try:
+            ftl_batch = getattr(self.ftl, "write_batch", None)
+            if ftl_batch is not None:
+                ftl_batch(list(lpns), datawords)
+            else:
+                for lpn, data in zip(lpns, datawords):
+                    self.ftl.write(lpn, data)
+        except (OutOfSpaceError, ProgramFailedError):
+            self.enter_read_only()
+            raise
+
     def read(self, lpn: int) -> np.ndarray:
         return self.ftl.read(lpn)
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (host TRIM; rejected once read-only)."""
+        if self._read_only:
+            raise ReadOnlyModeError(
+                "device is in end-of-life read-only mode and rejects TRIM"
+            )
+        self.ftl.trim(lpn)
 
     def scrub(self, max_relocations: int | None = None) -> int:
         """Run one background-scrub pass (no-op once read-only).

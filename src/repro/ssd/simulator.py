@@ -116,7 +116,7 @@ def run_until_death(
         "ssd.run_until_death", scheme=ssd.scheme_name, max_writes=max_writes
     ) as event:
         while writes < max_writes:
-            lpn = workload.next_lpn()
+            lpn = next(workload)
             data = workload.next_data(bits)
             try:
                 ssd.write(lpn, data)

@@ -10,6 +10,7 @@ workload can be captured, saved, and replayed deterministically.
 from __future__ import annotations
 
 import io
+import itertools
 from pathlib import Path
 
 from repro.errors import ConfigurationError
@@ -54,7 +55,7 @@ def record_trace(workload: Workload, length: int) -> list[int]:
     """Capture ``length`` LPNs from any workload generator."""
     if length < 1:
         raise ConfigurationError("trace length must be positive")
-    return [workload.next_lpn() for _ in range(length)]
+    return list(itertools.islice(workload, length))
 
 
 class TraceWorkload(Workload):

@@ -24,7 +24,14 @@ __all__ = [
 
 
 class Workload(abc.ABC):
-    """A stream of logical page numbers to write."""
+    """A stream of logical page numbers to write.
+
+    Workloads are (infinite) iterators: ``next(workload)`` yields the next
+    LPN, so the lifetime simulator and the serving layer's load generator
+    consume them through one protocol instead of hand-rolled
+    ``next_lpn()`` loops.  They never raise ``StopIteration`` — consumers
+    bound their own run length.
+    """
 
     def __init__(self, logical_pages: int, seed: int = 0) -> None:
         if logical_pages < 1:
@@ -35,6 +42,12 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def next_lpn(self) -> int:
         """The next logical page to write."""
+
+    def __iter__(self) -> "Workload":
+        return self
+
+    def __next__(self) -> int:
+        return self.next_lpn()
 
     def next_data(self, bits: int) -> np.ndarray:
         """Pseudo-random payload for the next write."""

@@ -1,0 +1,100 @@
+"""CLI tests for ``python -m repro.server`` (serve and bench)."""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.runner import _parse_hostport, main
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+FAST_DEVICE = [
+    "--page-bytes", "32", "--blocks", "8", "--pages-per-block", "8",
+    "--erase-limit", "200", "--constraint-length", "4",
+]
+
+
+class TestParseHostPort:
+    def test_host_and_port(self) -> None:
+        assert _parse_hostport("10.0.0.1:7631") == ("10.0.0.1", 7631)
+
+    def test_bare_port_defaults_to_loopback(self) -> None:
+        assert _parse_hostport(":7631") == ("127.0.0.1", 7631)
+
+    def test_garbage_rejected(self) -> None:
+        for bad in ("nope", "host:", "host:abc"):
+            with pytest.raises(ConfigurationError):
+                _parse_hostport(bad)
+
+
+class TestBenchCli:
+    def test_loopback_sweep_prints_table(self, capsys) -> None:
+        code = main(["bench", "--clients", "1", "2", "--ops", "10",
+                     *FAST_DEVICE])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IOPS" in out and "p99ms" in out
+        rows = [line for line in out.splitlines()
+                if re.match(r"\s+\d+\s+closed", line)]
+        assert len(rows) == 2
+
+    def test_connect_refused_is_a_config_error(self, capsys) -> None:
+        code = main(["bench", "--connect", "127.0.0.1:1",
+                     "--connect-timeout", "0.2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_out_written(self, tmp_path, capsys) -> None:
+        metrics = tmp_path / "bench.prom"
+        code = main(["bench", "--clients", "1", "--ops", "5",
+                     "--metrics-out", str(metrics), *FAST_DEVICE])
+        assert code == 0
+        text = metrics.read_text()
+        assert re.search(r"^repro_loadgen_requests 5", text, re.M)
+
+
+class TestServeCli:
+    def test_serve_until_sigint_flushes_metrics(self, tmp_path) -> None:
+        """The CI smoke flow: serve, drive, SIGINT, assert the metrics dump."""
+        metrics = tmp_path / "server.prom"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "serve", "--port", "0",
+             *FAST_DEVICE, "--metrics-out", str(metrics)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", banner)
+            assert match, banner
+            port = int(match.group(1))
+
+            code = main(["bench", "--connect", f"127.0.0.1:{port}",
+                         "--clients", "2", "--ops", "5"])
+            assert code == 0
+
+            process.send_signal(signal.SIGINT)
+            out, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, out
+        assert "stopped:" in out
+        text = metrics.read_text()
+        requests = re.search(r"^repro_server_requests (\d+)", text, re.M)
+        assert requests and int(requests.group(1)) >= 10
+
+    def test_bad_device_knob_exits_2(self, capsys) -> None:
+        code = main(["serve", "--utilization", "0.0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -75,3 +75,78 @@ class TestDeviceLifetime:
         report = format_device_report(results)
         assert "uncoded" in report and "wom" in report
         assert "host writes" in report
+
+
+class TestLifetimeState:
+    """Public end-of-life surface used by the serving layer."""
+
+    def _device(self) -> SSD:
+        return SSD(geometry=GEOM, scheme="wom", utilization=0.5)
+
+    def test_fresh_device_is_healthy(self) -> None:
+        ssd = self._device()
+        assert ssd.lifetime_state == "healthy"
+        assert not ssd.read_only
+
+    def test_latched_device_reports_read_only(self) -> None:
+        ssd = self._device()
+        ssd.enter_read_only()
+        assert ssd.lifetime_state == "read_only"
+        assert ssd.read_only
+
+    def test_absorbed_damage_reports_degraded(self) -> None:
+        ssd = self._device()
+        ssd.ftl.stats.program_failures += 1
+        assert ssd.lifetime_state == "degraded"
+
+    def test_run_to_death_ends_read_only(self) -> None:
+        ssd = self._device()
+        run_until_death(ssd, UniformWorkload(ssd.logical_pages, seed=1),
+                        max_writes=100_000)
+        assert ssd.lifetime_state == "read_only"
+
+
+class TestWriteBatchAndTrim:
+    def _data(self, ssd: SSD, count: int) -> np.ndarray:
+        rng = np.random.default_rng(3)
+        return rng.integers(0, 2, (count, ssd.logical_page_bits),
+                            dtype=np.uint8)
+
+    def test_write_batch_matches_sequential_writes(self) -> None:
+        batched = SSD(geometry=GEOM, scheme="mfc-1/2-1bpc", utilization=0.5,
+                      constraint_length=4)
+        serial = SSD(geometry=GEOM, scheme="mfc-1/2-1bpc", utilization=0.5,
+                     constraint_length=4)
+        lpns = [0, 1, 2, 3]
+        datas = self._data(batched, len(lpns))
+        batched.write_batch(lpns, datas)
+        for lpn, data in zip(lpns, datas):
+            serial.write(lpn, data)
+        for lpn, data in zip(lpns, datas):
+            assert np.array_equal(batched.read(lpn), data)
+            assert np.array_equal(serial.read(lpn), data)
+
+    def test_write_batch_on_uncoded_device_falls_back(self) -> None:
+        ssd = SSD(geometry=GEOM, scheme="uncoded", utilization=0.5)
+        datas = self._data(ssd, 3)
+        ssd.write_batch([0, 1, 2], datas)
+        for lpn in range(3):
+            assert np.array_equal(ssd.read(lpn), datas[lpn])
+
+    def test_write_batch_rejected_once_read_only(self) -> None:
+        from repro.errors import ReadOnlyModeError
+
+        ssd = SSD(geometry=GEOM, scheme="wom", utilization=0.5)
+        ssd.enter_read_only()
+        with pytest.raises(ReadOnlyModeError):
+            ssd.write_batch([0], self._data(ssd, 1))
+
+    def test_trim_discards_and_respects_read_only(self) -> None:
+        from repro.errors import ReadOnlyModeError
+
+        ssd = SSD(geometry=GEOM, scheme="wom", utilization=0.5)
+        ssd.write(0, self._data(ssd, 1)[0])
+        ssd.trim(0)
+        ssd.enter_read_only()
+        with pytest.raises(ReadOnlyModeError):
+            ssd.trim(0)

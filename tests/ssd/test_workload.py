@@ -76,3 +76,31 @@ class TestValidation:
     def test_empty_address_space_rejected(self) -> None:
         with pytest.raises(ConfigurationError):
             UniformWorkload(0)
+
+
+class TestIteration:
+    """Workloads are infinite iterators shared by simulator and loadgen."""
+
+    def test_next_delegates_to_next_lpn(self) -> None:
+        a, b = UniformWorkload(16, seed=7), UniformWorkload(16, seed=7)
+        assert [next(a) for _ in range(20)] == [b.next_lpn() for _ in range(20)]
+
+    def test_iter_returns_self(self) -> None:
+        wl = SequentialWorkload(4)
+        assert iter(wl) is wl
+
+    def test_islice_consumes_prefix(self) -> None:
+        import itertools
+
+        wl = SequentialWorkload(3)
+        assert list(itertools.islice(wl, 7)) == [0, 1, 2, 0, 1, 2, 0]
+        assert next(wl) == 1  # the iterator keeps going; never StopIteration
+
+    def test_for_loop_usable_with_external_bound(self) -> None:
+        wl = ZipfWorkload(8, seed=4)
+        lpns = []
+        for lpn in wl:
+            lpns.append(lpn)
+            if len(lpns) == 50:
+                break
+        assert len(lpns) == 50 and all(0 <= lpn < 8 for lpn in lpns)
