@@ -15,6 +15,7 @@ import asyncio
 
 import numpy as np
 
+from repro.durability import DurableStore
 from repro.flash import FlashGeometry
 from repro.server import ServerConfig, StorageService
 from repro.server.loadgen import run_closed_loop
@@ -33,6 +34,10 @@ COALESCED_CLIENTS = 32
 #: should win by ~3x; the bar stays conservative to keep CI machines
 #: with noisy neighbors green.
 MIN_COALESCING_SPEEDUP = 2.0
+#: Group commit folds a whole coalesced flush into one journal fsync, so
+#: journaling must cost well under one fsync per write; the durability
+#: tax on coalesced IOPS is bounded at 30%.
+MIN_JOURNALED_FRACTION = 0.7
 
 
 def make_ssd() -> SSD:
@@ -58,11 +63,13 @@ def warm_device(ssd: SSD) -> None:
                                     dtype=np.uint8))
 
 
-async def _measure(clients: int, ops_per_client: int):
+async def _measure(clients: int, ops_per_client: int, store=None):
     ssd = make_ssd()
     warm_device(ssd)
-    service = StorageService(ssd, ServerConfig(max_batch=COALESCED_CLIENTS))
+    service = StorageService(ssd, ServerConfig(max_batch=COALESCED_CLIENTS),
+                             store=store)
     async with service:
+        await service.recovery_done()
         result = await run_closed_loop(
             "127.0.0.1", service.port,
             clients=clients,
@@ -111,4 +118,48 @@ def test_bench_coalesced_vs_serialized(server_perf_recorder) -> None:
     assert speedup >= MIN_COALESCING_SPEEDUP, (
         f"coalesced loop only {speedup:.1f}x the serialized IOPS "
         f"(required {MIN_COALESCING_SPEEDUP}x)"
+    )
+
+
+def test_bench_journaled_group_commit(server_perf_recorder, tmp_path) -> None:
+    """Write-ahead journaling under group commit stays near baseline IOPS.
+
+    Every acknowledged write is journaled and the batch fsynced before
+    the replies go out (``--fsync-policy batch``); because the coalescer
+    already ships writes in lockstep flushes, the whole flush shares one
+    fsync and the durability tax must stay under
+    ``1 - MIN_JOURNALED_FRACTION`` of the no-journal coalesced IOPS.
+    """
+    ops_per_client = TOTAL_OPS // COALESCED_CLIENTS
+    baseline, _ = asyncio.run(_measure(COALESCED_CLIENTS, ops_per_client))
+    store = DurableStore(str(tmp_path / "bench-data"), fsync_policy="batch",
+                         checkpoint_every=0)
+    journaled, journaled_stats = asyncio.run(
+        _measure(COALESCED_CLIENTS, ops_per_client, store=store)
+    )
+    assert baseline.errors == journaled.errors == 0
+    assert journaled_stats.max_batch_size >= 2  # group commit engaged
+
+    fraction = journaled.achieved_iops / baseline.achieved_iops
+    server_perf_recorder.record(
+        "server-journaled-write-iops",
+        page_bits=PAGE_BITS,
+        constraint_length=CONSTRAINT_LENGTH,
+        total_ops=TOTAL_OPS,
+        fsync_policy="batch",
+        baseline_iops=baseline.achieved_iops,
+        journaled_iops=journaled.achieved_iops,
+        journaled_p50_ms=journaled.p50_ms,
+        journaled_p99_ms=journaled.p99_ms,
+        journaled_batches=journaled_stats.batches,
+        fraction_of_baseline=fraction,
+    )
+    print(
+        f"\nbaseline:  {baseline.summary_line()}\n"
+        f"journaled: {journaled.summary_line()}\n"
+        f"fraction of baseline: {fraction:.2f}"
+    )
+    assert fraction >= MIN_JOURNALED_FRACTION, (
+        f"journaled coalescing at {fraction:.2f}x of the no-journal "
+        f"baseline (required {MIN_JOURNALED_FRACTION}x)"
     )

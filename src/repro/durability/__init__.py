@@ -1,0 +1,38 @@
+"""Durability layer: write-ahead journal, checkpoints, crash recovery.
+
+The served device (:mod:`repro.server`) is an in-memory simulation; this
+package gives it the persistence discipline of a real storage daemon so a
+``kill -9`` — or a power cut, under ``fsync_policy="always"``/``"batch"`` —
+never loses an acknowledged write:
+
+- :mod:`repro.durability.journal` — the CRC-protected, length-prefixed,
+  fsync-batched record log (group commit: one sync per coalesced batch).
+- :mod:`repro.durability.checkpoint` — atomic device snapshots plus the
+  manifest that chains checkpoint and journal segment by SHA-256.
+- :mod:`repro.durability.store` — :class:`DurableStore`, the write-ahead
+  orchestrator (journal before apply, commit before ack, checkpoint to
+  bound replay) and crash recovery with survivor audit.
+"""
+
+from repro.durability.checkpoint import MANIFEST_FORMAT
+from repro.durability.journal import (
+    FSYNC_POLICIES,
+    JOURNAL_FORMAT,
+    JournalRecord,
+    JournalWriter,
+    OpCode,
+    scan_journal,
+)
+from repro.durability.store import DurableStore, RecoveryReport
+
+__all__ = [
+    "DurableStore",
+    "FSYNC_POLICIES",
+    "JOURNAL_FORMAT",
+    "JournalRecord",
+    "JournalWriter",
+    "MANIFEST_FORMAT",
+    "OpCode",
+    "RecoveryReport",
+    "scan_journal",
+]

@@ -1,0 +1,160 @@
+"""Atomic checkpoints and the manifest that chains them to the journal.
+
+A data directory holds, at any instant:
+
+``manifest.json``
+    The single source of truth.  Records the directory's format version,
+    the current checkpoint (file name, SHA-256, sequence number) and the
+    current journal segment (file name, start sequence).  Always replaced
+    atomically (write-temp, fsync, rename, fsync directory), so a crash at
+    any point leaves either the old or the new manifest — never a hybrid.
+``checkpoint-<seq>.ckpt``
+    A pickled :meth:`SSD.checkpoint` state.  Written to a temp file,
+    fsynced, then renamed; its SHA-256 lands in the manifest, so recovery
+    detects silent corruption instead of restoring garbage.
+``journal-<seq>.wal``
+    The write-ahead segment extending that checkpoint (see
+    :mod:`repro.durability.journal`).
+
+Checkpoint, new segment, and manifest are created in that order; the old
+segment and checkpoint are deleted only after the new manifest is durable.
+Recovery therefore always finds a consistent (checkpoint, segment) pair —
+at worst plus some orphaned files from a crash mid-rotation, which the next
+checkpoint sweeps up.
+
+Forward compatibility is refused loudly: a manifest whose ``format_version``
+exceeds this build's raises :class:`~repro.errors.DurabilityError` with an
+actionable message instead of a pickle/KeyError traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+
+from repro.errors import DurabilityError
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "checkpoint_name",
+    "journal_name",
+    "load_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
+    "write_manifest",
+]
+
+#: Version of the data-directory layout (manifest keys, file naming,
+#: checkpoint encoding).  Bumped on incompatible change; older builds must
+#: refuse newer directories.
+MANIFEST_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def checkpoint_name(seq: int) -> str:
+    return f"checkpoint-{seq:016d}.ckpt"
+
+
+def journal_name(start_seq: int) -> str:
+    return f"journal-{start_seq:016d}.wal"
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename in ``path`` durable (directory-entry fsync)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(directory: str, name: str, data: bytes) -> None:
+    """Write ``name`` so a crash leaves either the old file or the new one."""
+    tmp = os.path.join(directory, name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, os.path.join(directory, name))
+    _fsync_dir(directory)
+
+
+def write_manifest(directory: str, manifest: dict) -> None:
+    """Atomically replace the manifest."""
+    payload = dict(manifest)
+    payload["format_version"] = MANIFEST_FORMAT
+    _atomic_write(
+        directory,
+        MANIFEST_NAME,
+        json.dumps(payload, indent=2, sort_keys=True).encode("ascii"),
+    )
+
+
+def read_manifest(directory: str) -> dict | None:
+    """Load and version-gate the manifest; ``None`` for a fresh directory."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    try:
+        manifest = json.loads(raw)
+    except ValueError as exc:
+        raise DurabilityError(
+            f"manifest {path} is not valid JSON ({exc}); the data directory "
+            "is damaged beyond the journal's crash model — restore it from "
+            "a copy or start over with a fresh --data-dir"
+        ) from exc
+    version = manifest.get("format_version")
+    if not isinstance(version, int):
+        raise DurabilityError(
+            f"manifest {path} has no integer format_version; refusing to "
+            "guess at its layout"
+        )
+    if version > MANIFEST_FORMAT:
+        raise DurabilityError(
+            f"data directory {directory} was written by format version "
+            f"{version}, but this build reads format {MANIFEST_FORMAT}. "
+            "Upgrade the software (or point --data-dir at a fresh "
+            "directory); refusing to open it with an older reader."
+        )
+    return manifest
+
+
+def write_checkpoint(directory: str, state: dict, seq: int) -> tuple[str, str]:
+    """Persist one device checkpoint atomically.
+
+    Returns ``(file_name, sha256_hex)`` for the manifest.  The temp file is
+    fsynced before the rename and the directory entry after, so the named
+    checkpoint is durable and complete the moment it exists.
+    """
+    name = checkpoint_name(seq)
+    data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_write(directory, name, data)
+    return name, hashlib.sha256(data).hexdigest()
+
+
+def load_checkpoint(directory: str, entry: dict) -> dict:
+    """Load and integrity-check the checkpoint a manifest entry names."""
+    path = os.path.join(directory, entry["file"])
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError as exc:
+        raise DurabilityError(
+            f"manifest names checkpoint {entry['file']} but the file is "
+            f"missing from {directory}"
+        ) from exc
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != entry["sha256"]:
+        raise DurabilityError(
+            f"checkpoint {path} fails its integrity check (sha256 {digest} "
+            f"!= manifest {entry['sha256']}); refusing to restore corrupt "
+            "state"
+        )
+    return pickle.loads(data)

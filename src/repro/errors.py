@@ -152,3 +152,23 @@ class ServerBusyError(ServerError):
 
 class ConnectionLostError(ServerError):
     """The connection dropped before a pending request was answered."""
+
+
+class RecoveringError(ServerError):
+    """The server is replaying its journal and cannot serve data yet.
+
+    Raised client-side for ``Status.RECOVERING`` responses.  STAT requests
+    are answered during recovery (they report replay progress); data
+    operations should be retried once recovery finishes.
+    """
+
+
+class DurabilityError(ReproError):
+    """Base class for durability-layer errors (journal, checkpoint, manifest).
+
+    Raised for conditions that must stop a recovery cold rather than risk
+    serving wrong data: a manifest written by a newer format version, a
+    checkpoint whose SHA-256 does not match its manifest record, or a data
+    directory that cannot be laid out.  Torn or corrupt journal *tails* are
+    expected crash damage and are discarded silently, not raised.
+    """

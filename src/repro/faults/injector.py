@@ -132,6 +132,58 @@ class FaultInjector:
                 "FaultInjector is not attached to a chip yet"
             )
 
+    # -- durability hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable capture of all mutable injector state.
+
+        The RNG stream position, accumulated damage (stuck maps, disturb/
+        decay flip masks), grown defects, fired schedule events, and the
+        operation clock — everything needed for a restored chip to draw the
+        *same* future faults an uninterrupted run would have drawn.
+        """
+        return {
+            "rng": self.rng.bit_generator.state,
+            "counters": dict(self.counters.__dict__),
+            "op_tick": self._op_tick,
+            "fired": sorted(self._fired),
+            "bad_blocks": sorted(self._bad_blocks),
+            "bad_pages": sorted(self._bad_pages),
+            "stuck_mask": {
+                key: mask.copy() for key, mask in self._stuck_mask.items()
+            },
+            "stuck_vals": {
+                key: vals.copy() for key, vals in self._stuck_vals.items()
+            },
+            "flip_mask": {
+                key: mask.copy() for key, mask in self._flip_mask.items()
+            },
+            "programmed_tick": dict(self._programmed_tick),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the injector with a previously captured snapshot."""
+        self._require_bound()
+        self.rng.bit_generator.state = state["rng"]
+        self.counters = FaultCounters(**state["counters"])
+        self._op_tick = int(state["op_tick"])
+        self._fired = set(state["fired"])
+        self._bad_blocks = set(state["bad_blocks"])
+        self._bad_pages = {tuple(key) for key in state["bad_pages"]}
+        self._stuck_mask = {
+            tuple(key): mask.copy() for key, mask in state["stuck_mask"].items()
+        }
+        self._stuck_vals = {
+            tuple(key): vals.copy() for key, vals in state["stuck_vals"].items()
+        }
+        self._flip_mask = {
+            tuple(key): mask.copy() for key, mask in state["flip_mask"].items()
+        }
+        self._programmed_tick = {
+            tuple(key): tick
+            for key, tick in state["programmed_tick"].items()
+        }
+
     # -- stuck-cell bookkeeping ----------------------------------------------
 
     def _add_stuck(

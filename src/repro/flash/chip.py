@@ -152,6 +152,63 @@ class FlashChip:
         """Per-block erase counts (wear profile of the chip)."""
         return [block.erase_count for block in self.blocks]
 
+    # -- durability hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable capture of the full chip state.
+
+        Everything a restart needs to continue bit-identically: every
+        page's bits and partial-program count, every block's erase count,
+        the noise RNG stream position, and the operation counters.  The
+        fault injector is chip-external state and is snapshotted by its
+        owner (:meth:`repro.ssd.device.SSD.checkpoint`).
+        """
+        return {
+            "blocks": [
+                {
+                    "erase_count": block.erase_count,
+                    "pages": [page.snapshot_state() for page in block.pages],
+                }
+                for block in self.blocks
+            ],
+            "noise_rng": self._noise_rng.bit_generator.state,
+            "stats": {
+                "page_reads": self.stats.page_reads,
+                "page_programs": self.stats.page_programs,
+                "program_failures": self.stats.program_failures,
+                "block_erases": self.stats.block_erases,
+                "bits_programmed": self.stats.bits_programmed,
+                "erases_per_block": dict(self.stats.erases_per_block),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the chip with a previously captured snapshot."""
+        if len(state["blocks"]) != len(self.blocks):
+            raise LogicalAddressError(
+                f"snapshot holds {len(state['blocks'])} blocks, chip has "
+                f"{len(self.blocks)}"
+            )
+        for block, block_state in zip(self.blocks, state["blocks"]):
+            if len(block_state["pages"]) != block.pages_per_block:
+                raise LogicalAddressError(
+                    "snapshot block page count does not match the chip "
+                    "geometry"
+                )
+            block.erase_count = int(block_state["erase_count"])
+            for page, page_state in zip(block.pages, block_state["pages"]):
+                page.restore_state(page_state)
+        self._noise_rng.bit_generator.state = state["noise_rng"]
+        stats = state["stats"]
+        self.stats = FlashStats(
+            page_reads=stats["page_reads"],
+            page_programs=stats["page_programs"],
+            program_failures=stats["program_failures"],
+            block_erases=stats["block_erases"],
+            bits_programmed=stats["bits_programmed"],
+            erases_per_block=dict(stats["erases_per_block"]),
+        )
+
     @property
     def live_blocks(self) -> int:
         """Number of blocks still within their erase budget."""

@@ -106,3 +106,24 @@ class Page:
         self._bits[:] = 0
         self._state = PageState.ERASED
         self.program_count = 0
+
+    # -- durability hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable capture of the page (bits packed for compactness)."""
+        return {
+            "bits": np.packbits(self._bits).tobytes(),
+            "programmed": self._state is PageState.PROGRAMMED,
+            "program_count": self.program_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the page with a previously captured snapshot."""
+        self._bits[:] = np.unpackbits(
+            np.frombuffer(state["bits"], dtype=np.uint8),
+            count=self.page_bits,
+        )
+        self._state = (
+            PageState.PROGRAMMED if state["programmed"] else PageState.ERASED
+        )
+        self.program_count = int(state["program_count"])

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -139,6 +140,16 @@ class BasicFTL:
             raise FTLError("retry budgets must be non-negative")
         self.max_program_retries = max_program_retries
         self.max_read_retries = max_read_retries
+        #: Optional observer for internal state transitions (GC reclaims,
+        #: block retirements, wear-leveling migrations).  The durability
+        #: layer subscribes here so those transitions reach the write-ahead
+        #: journal; ``None`` costs one attribute check per event.
+        self.event_sink: Callable[[str, dict], None] | None = None
+
+    def _emit(self, kind: str, **info) -> None:
+        """Publish one internal transition to the attached event sink."""
+        if self.event_sink is not None:
+            self.event_sink(kind, info)
 
     # -- storage hooks (overridden by coding FTLs) ---------------------------
 
@@ -270,6 +281,7 @@ class BasicFTL:
         if self._open_block == block:
             self._open_block = None
             self._next_page = 0
+        self._emit("block_retired", block=block)
 
     def _allocate_page(self) -> tuple[int, int]:
         geometry = self.chip.geometry
@@ -382,6 +394,7 @@ class BasicFTL:
         # pass must not pick the half-reclaimed victim again.
         self._reclaiming.add(victim)
         try:
+            relocated = 0
             for addr in self.mapping.live_pages_in_block(victim):
                 if self.mapping.state(addr) is not PhysicalPageState.LIVE:
                     # A nested pass relocated this page meanwhile.
@@ -394,12 +407,14 @@ class BasicFTL:
                 # data.
                 self._write_out_of_place(lpn, data, count_relocation=True)
                 self.stats.gc_relocations += 1
+                relocated += 1
             try:
                 self.chip.erase_block(victim)
             except BlockWornOutError:
                 self._retire_block(victim)
                 return
             self.mapping.release_block(victim)
+            self._emit("gc_reclaim", block=victim, relocated=relocated)
             if self.chip.blocks[victim].worn_out:
                 # That was the block's final permitted cycle; retire it
                 # rather than hand out pages that can no longer be
@@ -441,6 +456,7 @@ class BasicFTL:
         if not self._can_reclaim(coldest):
             return  # not enough headroom to migrate safely; try again later
         self.stats.migrations += 1
+        self._emit("wear_migration", block=coldest)
         self._reclaim_block(coldest)
 
     # -- background scrub ----------------------------------------------------
@@ -512,3 +528,35 @@ class BasicFTL:
     def retired_blocks(self) -> frozenset[int]:
         """Blocks taken out of service after exhausting their erase budget."""
         return frozenset(self._retired)
+
+    # -- durability hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable capture of all mutable FTL state.
+
+        Taken between host operations, so the transient GC fields
+        (``_in_gc``, ``_reclaiming``) are always at rest and are not
+        captured.  Chip state is snapshotted separately by the chip.
+        """
+        return {
+            "mapping": self.mapping.snapshot_state(),
+            "free_blocks": sorted(self._free_blocks),
+            "retired": sorted(self._retired),
+            "open_block": self._open_block,
+            "next_page": self._next_page,
+            "writes_since_wl_check": self._writes_since_wl_check,
+            "stats": dict(self.stats.__dict__),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the FTL with a previously captured snapshot."""
+        self.mapping.restore_state(state["mapping"])
+        self._free_blocks = set(state["free_blocks"])
+        self._retired = set(state["retired"])
+        self._reclaiming = set()
+        self._in_gc = False
+        open_block = state["open_block"]
+        self._open_block = None if open_block is None else int(open_block)
+        self._next_page = int(state["next_page"])
+        self._writes_since_wl_check = int(state["writes_since_wl_check"])
+        self.stats = FTLStats(**state["stats"])

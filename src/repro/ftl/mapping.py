@@ -130,3 +130,45 @@ class PageMapping:
     def mapped_count(self) -> int:
         """Number of logical pages currently holding data."""
         return len(self._forward)
+
+    def mapped_lpns(self) -> list[int]:
+        """Logical pages currently holding data (ascending)."""
+        return sorted(self._forward)
+
+    # -- durability hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Picklable capture of the mapping.
+
+        Only the forward map and the invalid set are stored; LIVE states and
+        the reverse map are implied by the forward map, and every remaining
+        page is FREE.
+        """
+        return {
+            "logical_pages": self.logical_pages,
+            "forward": dict(self._forward),
+            "invalid": [
+                addr
+                for addr, state in self._states.items()
+                if state is PhysicalPageState.INVALID
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the mapping with a previously captured snapshot."""
+        if state["logical_pages"] != self.logical_pages:
+            raise FTLError(
+                f"snapshot addresses {state['logical_pages']} logical pages, "
+                f"mapping has {self.logical_pages}"
+            )
+        self._forward = {}
+        self._reverse = {}
+        for addr in self._states:
+            self._states[addr] = PhysicalPageState.FREE
+        for lpn, addr in state["forward"].items():
+            addr = tuple(addr)
+            self._forward[int(lpn)] = addr
+            self._reverse[addr] = int(lpn)
+            self._states[addr] = PhysicalPageState.LIVE
+        for addr in state["invalid"]:
+            self._states[tuple(addr)] = PhysicalPageState.INVALID

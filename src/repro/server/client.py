@@ -16,8 +16,9 @@ Typed server errors come back as the *same* exceptions the local
 ``LogicalAddressError``, ``UncorrectableReadError``), so code written
 against the in-process device ports to the wire unchanged;
 service-specific failures raise :class:`~repro.errors.ServerBusyError`,
-:class:`~repro.errors.ProtocolError` or plain
-:class:`~repro.errors.ServerError`.
+:class:`~repro.errors.RecoveringError` (crash recovery is still replaying
+the journal — retry shortly), :class:`~repro.errors.ProtocolError` or
+plain :class:`~repro.errors.ServerError`.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from repro.errors import (
     LogicalAddressError,
     ProtocolError,
     ReadOnlyModeError,
+    RecoveringError,
     ServerBusyError,
     ServerError,
     UncorrectableReadError,
@@ -48,6 +50,7 @@ _STATUS_ERRORS: dict[Status, type[Exception]] = {
     Status.UNCORRECTABLE: UncorrectableReadError,
     Status.BUSY: ServerBusyError,
     Status.INTERNAL: ServerError,
+    Status.RECOVERING: RecoveringError,
 }
 
 

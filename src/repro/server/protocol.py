@@ -95,6 +95,7 @@ class Status(enum.IntEnum):
     UNCORRECTABLE = 4   # read exhausted the recovery ladder
     BUSY = 5            # admission control shed the request (reject mode)
     INTERNAL = 6        # unexpected server-side failure
+    RECOVERING = 7      # server is replaying its journal; retry shortly
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,10 @@ Two subcommands::
     # SIGTERM triggers a graceful stop and flushes --metrics-out/--trace-out
     python -m repro.server serve --scheme mfc-1/2-1bpc --port 7631
 
+    # same, but durable: acknowledged writes survive kill -9 (write-ahead
+    # journal + checkpoints in DIR; crash recovery replays on startup)
+    python -m repro.server serve --data-dir /var/tmp/repro-dev --port 7631
+
     # loopback concurrency sweep through the sweep fabric (--jobs/--cache),
     # or drive an already-running server with --connect
     python -m repro.server bench --clients 1 4 16
@@ -21,7 +25,9 @@ import socket
 import sys
 import time
 
-from repro.errors import ConfigurationError
+from repro.durability import FSYNC_POLICIES, DurableStore
+from repro.durability.checkpoint import read_manifest
+from repro.errors import ConfigurationError, DurabilityError
 from repro.experiments.pool import run_cells
 from repro.flash.geometry import FlashGeometry
 from repro.obs import registry as _metrics
@@ -62,6 +68,25 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--admission", choices=("block", "reject"),
                        default="block",
                        help="full queue: block readers or answer BUSY")
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "durability", "write-ahead journal + checkpoints (off by default)"
+    )
+    group.add_argument("--data-dir", metavar="DIR",
+                       help="persist acknowledged writes here (journal + "
+                            "checkpoints) and crash-recover on startup")
+    group.add_argument("--fsync-policy", choices=FSYNC_POLICIES,
+                       default="batch",
+                       help="journal sync cadence: 'always' per record, "
+                            "'batch' one fsync per coalesced flush (group "
+                            "commit), 'none' flush-only (safe against "
+                            "kill -9, not power loss)")
+    group.add_argument("--checkpoint-every", type=int, default=4096,
+                       metavar="N",
+                       help="journal records between automatic checkpoints "
+                            "(0 disables; recovery always checkpoints once)")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="0 picks an ephemeral port (printed at startup)")
     _add_device_args(serve)
     _add_server_args(serve)
+    _add_durability_args(serve)
     _add_obs_args(serve)
 
     bench = commands.add_parser(
@@ -158,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
             code = asyncio.run(_serve(args))
         else:
             code = _bench(args)
-    except ConfigurationError as exc:
+    except (ConfigurationError, DurabilityError) as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
     if args.metrics_out:
@@ -175,7 +201,17 @@ def main(argv: list[str] | None = None) -> int:
 
 async def _serve(args: argparse.Namespace) -> int:
     ssd = _make_ssd(args)
-    service = StorageService(ssd, _server_config(args))
+    store = None
+    if args.data_dir:
+        store = DurableStore(
+            args.data_dir,
+            fsync_policy=args.fsync_policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+        # Fail fast — and with the manifest's clear message — on a data
+        # directory this build cannot read, before binding the socket.
+        read_manifest(store.data_dir)
+    service = StorageService(ssd, _server_config(args), store=store)
     await service.start(host=args.host, port=args.port)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -194,9 +230,18 @@ async def _serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     try:
+        report = await service.recovery_done()
+        if report is not None:
+            print(report.summary(), flush=True)
         await stop.wait()
     finally:
         await service.stop()
+        if store is not None:
+            if store.ready:
+                # Graceful stop: fold the whole journal into one final
+                # checkpoint so the next start recovers instantly.
+                store.checkpoint(ssd)
+            store.close()
     stats = service.stats
     print(
         f"stopped: {stats.requests} requests "

@@ -21,6 +21,18 @@ while the Viterbi search grinds — which is precisely what lets the queue
 accumulate the next coalescable batch.  The single worker also makes the
 SSD's single-threaded mutation model safe by construction.
 
+**Durability (optional).**  Constructed with a
+:class:`~repro.durability.DurableStore`, the service runs the write-ahead
+discipline on its device thread: validated WRITE/TRIM mutations are
+journaled *before* they touch the device, and one group commit per flush
+makes the whole batch durable *before* any acknowledgement leaves the
+process — so a ``kill -9`` at any instant loses no acknowledged write.
+:meth:`StorageService.start` then begins by recovering the data directory
+(checkpoint restore + journal replay + survivor audit) concurrently with
+accepting connections: STAT is answered immediately from server-side state,
+while data operations get the typed ``Status.RECOVERING`` error until
+replay finishes, so clients see a fast typed signal instead of a hang.
+
 **Admission control and backpressure.**  Two bounds protect the server:
 a per-connection *credit window* (a connection with ``credit_window``
 un-answered requests stops being read, pushing backpressure into the
@@ -59,6 +71,7 @@ from repro.errors import (
     ReproError,
     UncorrectableReadError,
 )
+from repro.durability.store import DurableStore, RecoveryReport
 from repro.obs import registry as _metrics
 from repro.obs.registry import TIME_BUCKETS
 from repro.obs.tracing import span as _span
@@ -218,16 +231,25 @@ class StorageService:
     or ``async with StorageService(ssd) as service: ...``.
     """
 
-    def __init__(self, ssd: SSD, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        ssd: SSD,
+        config: ServerConfig | None = None,
+        store: DurableStore | None = None,
+    ) -> None:
         self.ssd = ssd
         self.config = config or ServerConfig()
+        self.store = store
         self.stats = ServerStats()
+        self.recovery_report: RecoveryReport | None = None
         self._server: asyncio.base_events.Server | None = None
         self._device_task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._queue: asyncio.Queue | None = None
         self._connections: set[_Connection] = set()
         self._handler_tasks: set[asyncio.Task] = set()
+        self._recovering = False
+        self._recovery_task: asyncio.Task | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -239,8 +261,37 @@ class StorageService:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-device"
         )
+        if self.store is not None:
+            # Recovery runs on the device thread concurrently with accepting
+            # connections: the admission gate answers for the device until
+            # replay finishes (STAT immediately, data ops -> RECOVERING).
+            self._recovering = True
+            self._recovery_task = asyncio.create_task(self._recover())
         self._device_task = asyncio.create_task(self._device_loop())
         self._server = await asyncio.start_server(self._handle, host, port)
+
+    async def _recover(self) -> RecoveryReport:
+        loop = asyncio.get_running_loop()
+        try:
+            self.recovery_report = await loop.run_in_executor(
+                self._executor, self.store.recover, self.ssd
+            )
+            return self.recovery_report
+        finally:
+            self._recovering = False
+
+    async def recovery_done(self) -> RecoveryReport | None:
+        """Wait for startup recovery; re-raises its failure, if any.
+
+        Returns ``None`` when the service has no durable store.  A
+        :class:`~repro.errors.DurabilityError` here means the data
+        directory could not be trusted (newer format, failed integrity
+        check) — the caller should stop the service and surface the
+        message.
+        """
+        if self._recovery_task is None:
+            return None
+        return await asyncio.shield(self._recovery_task)
 
     @property
     def port(self) -> int:
@@ -263,6 +314,11 @@ class StorageService:
         if self._handler_tasks:
             await asyncio.gather(*self._handler_tasks, return_exceptions=True)
         self._handler_tasks.clear()
+        if self._recovery_task is not None:
+            # Recovery occupies the device thread; let it finish (it cannot
+            # be interrupted mid-replay) before the loop shuts down.
+            await asyncio.gather(self._recovery_task, return_exceptions=True)
+            self._recovery_task = None
         await self._queue.put(_SHUTDOWN)
         await self._device_task
         self._device_task = None
@@ -323,6 +379,26 @@ class StorageService:
     async def _admit(self, conn: _Connection, request: Request) -> None:
         """Admission control: credit window first, then the global queue."""
         await conn.credits.acquire()  # pauses this reader at the window cap
+        if self._recovering:
+            # The device thread is replaying the journal.  STAT answers from
+            # server-side state alone (no device access, so no race with the
+            # replay); everything else gets the typed RECOVERING error
+            # instead of silently queueing behind an unbounded replay.
+            if request.opcode is Opcode.STAT:
+                self._finish(
+                    _Op(request, conn),
+                    protocol.encode_response(Response(
+                        Status.OK, request.request_id,
+                        stat=self._recovering_stat(),
+                    )),
+                )
+            else:
+                conn.credits.release()
+                self._send_error(
+                    conn, request.request_id, Status.RECOVERING,
+                    "server is replaying its journal; retry shortly",
+                )
+            return
         op = _Op(request, conn)
         if self.config.admission == "reject":
             try:
@@ -424,6 +500,12 @@ class StorageService:
                     )
                 else:
                     lanes.append(op)
+            if lanes and self.store is not None:
+                # Write-ahead: journal every validated lane before the
+                # device sees it.  The group commit below makes the whole
+                # batch durable with one fsync before any reply is released.
+                for op in lanes:
+                    self.store.journal_write(op.request.lpn, op.request.data)
             if lanes:
                 try:
                     self.ssd.write_batch(
@@ -453,6 +535,8 @@ class StorageService:
                         results[id(op)] = Response(
                             Status.OK, op.request.request_id
                         )
+            if self.store is not None:
+                self._commit_batch()
             replies = []
             ok = 0
             for op in batch:
@@ -471,15 +555,37 @@ class StorageService:
                 flush_event["attrs"]["ok"] = ok
         return replies
 
+    def _commit_batch(self) -> None:
+        """Group-commit the journal and let the checkpoint cadence run.
+
+        Runs on the device thread after applying a flush and before its
+        replies are released — the commit-before-acknowledge half of the
+        write-ahead contract.  The end-of-life latch is journaled here too,
+        so replay re-latches a dead device before serving it.
+        """
+        if self.ssd.read_only:
+            self.store.note_read_only()
+        self.store.commit()
+        self.store.maybe_checkpoint(self.ssd)
+
     def _execute_one(self, op: _Op) -> list[tuple[_Op, bytes]]:
         """Execute one non-WRITE request on the device thread."""
         request = op.request
+        journaled = (
+            self.store is not None
+            and request.opcode is Opcode.TRIM
+            and 0 <= request.lpn < self.ssd.logical_pages
+        )
+        if journaled:
+            self.store.journal_trim(request.lpn)
         with _span(
             "server.request", op=request.opcode.name, lpn=request.lpn
         ) as event:
             response = self._apply(request)
             if event is not None:
                 event["attrs"]["status"] = response.status.name
+        if journaled:
+            self._commit_batch()
         if response.status is not Status.OK:
             self.stats.errors += 1
             _ERRORS.inc()
@@ -507,10 +613,41 @@ class StorageService:
             return Response(Status.INTERNAL, request.request_id,
                             message=str(exc))
 
+    def _recovering_stat(self) -> dict:
+        """STAT payload served while recovery owns the device thread.
+
+        Built from serving-layer state only — touching the SSD here would
+        race the replay — so clients polling STAT can watch for
+        ``recovering`` to clear without tripping over RECOVERING errors.
+        """
+        return {
+            "recovering": True,
+            "server": self.stats.summary(),
+        }
+
+    def _durability_stat(self) -> dict:
+        info: dict = {
+            "fsync_policy": self.store.fsync_policy,
+            "checkpoint_every": self.store.checkpoint_every,
+        }
+        if self.recovery_report is not None:
+            report = self.recovery_report
+            info["recovery"] = {
+                "fresh": report.fresh,
+                "checkpoint_seq": report.checkpoint_seq,
+                "replayed_writes": report.replayed_writes,
+                "replayed_trims": report.replayed_trims,
+                "skipped_applies": report.skipped_applies,
+                "torn_bytes_discarded": report.torn_bytes_discarded,
+                "audited_pages": report.audited_pages,
+                "audit_failures": report.audit_failures,
+            }
+        return info
+
     def _stat(self) -> dict:
         """The STAT payload: device health + server accounting."""
         ssd = self.ssd
-        return {
+        payload = {
             "scheme": ssd.scheme_name,
             "logical_pages": ssd.logical_pages,
             "dataword_bits": ssd.logical_page_bits,
@@ -526,6 +663,10 @@ class StorageService:
                 "admission": self.config.admission,
             },
         }
+        payload["recovering"] = False
+        if self.store is not None:
+            payload["durability"] = self._durability_stat()
+        return payload
 
 
 def _request_id_of(body: bytes) -> int:

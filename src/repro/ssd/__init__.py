@@ -17,7 +17,11 @@ from repro.ssd.workload import (
 )
 from repro.ssd.device import SSD
 from repro.ssd.array import StripedDevice
-from repro.ssd.simulator import DeviceLifetimeResult, run_until_death
+from repro.ssd.simulator import (
+    DeviceLifetimeResult,
+    audit_survivors,
+    run_until_death,
+)
 from repro.ssd.report import format_device_report, format_reliability_report
 from repro.ssd.trace import TraceWorkload, load_trace, record_trace, save_trace
 
@@ -30,6 +34,7 @@ __all__ = [
     "SSD",
     "StripedDevice",
     "DeviceLifetimeResult",
+    "audit_survivors",
     "run_until_death",
     "format_device_report",
     "format_reliability_report",

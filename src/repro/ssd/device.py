@@ -222,3 +222,88 @@ class SSD:
         """Max minus min per-block erase count (wear-leveling quality)."""
         counts = self.chip.block_erase_counts()
         return max(counts) - min(counts)
+
+    # -- durability: checkpoint / restore ------------------------------------
+
+    #: Bumped whenever the checkpoint state layout changes incompatibly.
+    CHECKPOINT_FORMAT = 1
+
+    def checkpoint(self) -> dict:
+        """Capture the complete device state as one picklable dict.
+
+        Composes the chip snapshot (page bits, wear, RNG stream position),
+        the FTL snapshot (mapping, allocator, wear-leveling cadence, stats),
+        the fault injector (when attached), and the end-of-life latch.  A
+        device restored from this state continues **bit-identically**: the
+        same writes produce the same chip image, GC decisions, and faults
+        as an uninterrupted run.
+
+        Must be taken between host operations (the serving layer takes it
+        on its single device thread, the simulator between writes).
+        """
+        geometry = self.geometry
+        return {
+            "format": self.CHECKPOINT_FORMAT,
+            "scheme": self.scheme_name,
+            "geometry": {
+                "blocks": geometry.blocks,
+                "pages_per_block": geometry.pages_per_block,
+                "page_bits": geometry.page_bits,
+                "erase_limit": geometry.erase_limit,
+                "cell_kind": geometry.cell.kind,
+            },
+            "logical_pages": self.logical_pages,
+            "read_only": self._read_only,
+            "chip": self.chip.snapshot_state(),
+            "ftl": self.ftl.snapshot_state(),
+            "faults": (
+                self.faults.snapshot_state() if self.faults is not None
+                else None
+            ),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this device with a previously captured checkpoint.
+
+        The device must have been constructed with the same scheme and
+        geometry the checkpoint was taken from — restore replaces *state*,
+        not configuration.
+        """
+        if state.get("format") != self.CHECKPOINT_FORMAT:
+            raise ConfigurationError(
+                f"checkpoint format {state.get('format')!r} is not supported "
+                f"(this build reads format {self.CHECKPOINT_FORMAT})"
+            )
+        if state["scheme"] != self.scheme_name:
+            raise ConfigurationError(
+                f"checkpoint was taken from a {state['scheme']!r} device, "
+                f"cannot restore into {self.scheme_name!r}"
+            )
+        geometry = self.geometry
+        expected = {
+            "blocks": geometry.blocks,
+            "pages_per_block": geometry.pages_per_block,
+            "page_bits": geometry.page_bits,
+            "erase_limit": geometry.erase_limit,
+            "cell_kind": geometry.cell.kind,
+        }
+        if state["geometry"] != expected:
+            raise ConfigurationError(
+                f"checkpoint geometry {state['geometry']} does not match the "
+                f"device geometry {expected}"
+            )
+        if state["logical_pages"] != self.logical_pages:
+            raise ConfigurationError(
+                f"checkpoint addresses {state['logical_pages']} logical "
+                f"pages, device exposes {self.logical_pages}"
+            )
+        if (state["faults"] is not None) != (self.faults is not None):
+            raise ConfigurationError(
+                "checkpoint and device disagree on fault injection; "
+                "construct the device with the same fault profile/schedule"
+            )
+        self.chip.restore_state(state["chip"])
+        self.ftl.restore_state(state["ftl"])
+        if self.faults is not None:
+            self.faults.restore_state(state["faults"])
+        self._read_only = bool(state["read_only"])

@@ -16,7 +16,25 @@ from repro.obs.tracing import span as _span
 from repro.ssd.device import SSD
 from repro.ssd.workload import Workload
 
-__all__ = ["DeviceLifetimeResult", "run_until_death"]
+__all__ = ["DeviceLifetimeResult", "audit_survivors", "run_until_death"]
+
+
+def audit_survivors(ssd: SSD) -> tuple[int, int]:
+    """Read back every logical page; returns ``(pages_read, failed_pages)``.
+
+    The survivor audit: each failed read is one host-visible data-loss
+    event (the FTL counts it in ``uncorrectable_reads`` /
+    ``data_loss_events`` as usual).  Used at end-of-life by
+    :func:`run_until_death` and after crash recovery by the durability
+    layer, so both report loss with identical semantics.
+    """
+    failures = 0
+    for lpn in range(ssd.logical_pages):
+        try:
+            ssd.read(lpn)
+        except UncorrectableReadError:
+            failures += 1
+    return ssd.logical_pages, failures
 
 
 @dataclass(frozen=True)
@@ -133,11 +151,7 @@ def run_until_death(
         if audit is None:
             audit = ssd.faults is not None
         if audit:
-            for lpn in range(ssd.logical_pages):
-                try:
-                    ssd.read(lpn)
-                except UncorrectableReadError:
-                    pass  # already counted in uncorrectable_reads/data_loss_events
+            audit_survivors(ssd)
         if event is not None:
             event["attrs"]["host_writes"] = writes
     # Publish this run's end-of-life accounting: FTL and fault-injection

@@ -1,0 +1,81 @@
+"""Manifest atomicity, integrity chaining, and the format-version gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability.checkpoint import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    load_checkpoint,
+    read_manifest,
+    write_checkpoint,
+    write_manifest,
+)
+from repro.errors import DurabilityError
+
+
+class TestManifest:
+    def test_fresh_directory_has_no_manifest(self, tmp_path) -> None:
+        assert read_manifest(str(tmp_path)) is None
+
+    def test_round_trip(self, tmp_path) -> None:
+        write_manifest(str(tmp_path), {"checkpoint": None,
+                                       "journal": {"file": "j", "start_seq": 1}})
+        manifest = read_manifest(str(tmp_path))
+        assert manifest["format_version"] == MANIFEST_FORMAT
+        assert manifest["checkpoint"] is None
+        assert manifest["journal"] == {"file": "j", "start_seq": 1}
+
+    def test_no_temp_files_left_behind(self, tmp_path) -> None:
+        write_manifest(str(tmp_path), {"checkpoint": None, "journal": {}})
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+
+    def test_newer_format_version_refused_with_clear_error(
+        self, tmp_path
+    ) -> None:
+        write_manifest(str(tmp_path), {"checkpoint": None, "journal": {}})
+        path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = MANIFEST_FORMAT + 5
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(DurabilityError, match="format version"):
+            read_manifest(str(tmp_path))
+
+    def test_non_json_manifest_is_a_typed_error(self, tmp_path) -> None:
+        (tmp_path / MANIFEST_NAME).write_bytes(b"\x80\x04not json")
+        with pytest.raises(DurabilityError, match="not valid JSON"):
+            read_manifest(str(tmp_path))
+
+    def test_missing_version_is_a_typed_error(self, tmp_path) -> None:
+        (tmp_path / MANIFEST_NAME).write_text('{"checkpoint": null}')
+        with pytest.raises(DurabilityError, match="format_version"):
+            read_manifest(str(tmp_path))
+
+
+class TestCheckpointFiles:
+    def test_round_trip_with_sha_verification(self, tmp_path) -> None:
+        state = {"nested": {"values": list(range(10))}, "flag": True}
+        name, sha = write_checkpoint(str(tmp_path), state, seq=7)
+        loaded = load_checkpoint(
+            str(tmp_path), {"file": name, "sha256": sha, "seq": 7}
+        )
+        assert loaded == state
+
+    def test_corrupt_checkpoint_refused(self, tmp_path) -> None:
+        name, sha = write_checkpoint(str(tmp_path), {"x": 1}, seq=3)
+        target = tmp_path / name
+        target.write_bytes(target.read_bytes() + b"\x00")
+        with pytest.raises(DurabilityError, match="integrity"):
+            load_checkpoint(
+                str(tmp_path), {"file": name, "sha256": sha, "seq": 3}
+            )
+
+    def test_missing_checkpoint_refused(self, tmp_path) -> None:
+        with pytest.raises(DurabilityError, match="missing"):
+            load_checkpoint(
+                str(tmp_path), {"file": "checkpoint-0.ckpt",
+                                "sha256": "0" * 64, "seq": 0}
+            )

@@ -1,0 +1,267 @@
+"""DurableStore: crash recovery, replay semantics, checkpoint cadence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.durability import DurableStore, OpCode, scan_journal
+from repro.durability.journal import JournalRecord, encode_record
+from repro.errors import DurabilityError
+from repro.flash.geometry import FlashGeometry
+from repro.ssd.device import SSD
+
+GEOMETRY = FlashGeometry(
+    blocks=8, pages_per_block=8, page_bits=64, erase_limit=100
+)
+
+
+def make_ssd() -> SSD:
+    return SSD(geometry=GEOMETRY, scheme="uncoded", utilization=0.8)
+
+
+def write_some(store, ssd, rng, count=30) -> dict[int, np.ndarray]:
+    """Acknowledged writes: journaled, applied, committed."""
+    written: dict[int, np.ndarray] = {}
+    for _ in range(count):
+        lpn = int(rng.integers(0, ssd.logical_pages))
+        data = rng.integers(0, 2, size=GEOMETRY.page_bits).astype(np.uint8)
+        store.journal_write(lpn, data)
+        ssd.write(lpn, data)
+        written[lpn] = data
+    store.commit()
+    return written
+
+
+def segment_path(data_dir) -> str:
+    (name,) = [n for n in os.listdir(data_dir) if n.endswith(".wal")]
+    return os.path.join(data_dir, name)
+
+
+class TestRecoveryRoundTrip:
+    def test_fresh_directory_initializes(self, tmp_path) -> None:
+        store = DurableStore(tmp_path / "d")
+        report = store.recover(make_ssd())
+        assert report.fresh
+        assert store.ready
+        names = sorted(os.listdir(tmp_path / "d"))
+        assert any(n.endswith(".wal") for n in names)
+        assert "manifest.json" in names
+
+    def test_kill_nine_replay_recovers_every_acked_write(
+        self, tmp_path, rng
+    ) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        written = write_some(store, ssd, rng)
+        trimmed = next(iter(written))
+        store.journal_trim(trimmed)
+        ssd.trim(trimmed)
+        store.commit()
+        del written[trimmed]
+        # kill -9: no close(), fresh process state.
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert not report.fresh
+        assert report.replayed_trims == 1
+        assert report.audit_failures == 0
+        for lpn, data in written.items():
+            assert np.array_equal(ssd2.read(lpn), data)
+        assert not ssd2.read(trimmed).any()
+
+    def test_second_recovery_uses_post_recovery_checkpoint(
+        self, tmp_path, rng
+    ) -> None:
+        store = DurableStore(tmp_path / "d")
+        ssd = make_ssd()
+        store.recover(ssd)
+        written = write_some(store, ssd, rng)
+        first = DurableStore(tmp_path / "d").recover(make_ssd())
+        assert first.replayed_writes > 0
+        ssd3 = make_ssd()
+        second = DurableStore(tmp_path / "d").recover(ssd3)
+        assert second.replayed_writes == 0  # all folded into the checkpoint
+        for lpn, data in written.items():
+            assert np.array_equal(ssd3.read(lpn), data)
+
+    def test_unacked_tail_after_last_commit_still_replays(
+        self, tmp_path, rng
+    ) -> None:
+        # Records flushed by the OS but never commit()ed are *more* than we
+        # promised to keep; replaying them is correct (they are a prefix of
+        # what the client might have seen acknowledged).
+        store = DurableStore(tmp_path / "d", fsync_policy="batch")
+        ssd = make_ssd()
+        store.recover(ssd)
+        data = rng.integers(0, 2, size=GEOMETRY.page_bits).astype(np.uint8)
+        store.journal_write(5, data)
+        ssd.write(5, data)
+        store.close()  # flushes buffered records, as the OS would keep them
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert report.replayed_writes == 1
+        assert np.array_equal(ssd2.read(5), data)
+
+
+class TestReplaySemantics:
+    def test_duplicate_tail_record_is_idempotent(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        written = write_some(store, ssd, rng, count=10)
+        store.close()
+        path = segment_path(tmp_path / "d")
+        records = scan_journal(path).records
+        with open(path, "ab") as fh:
+            fh.write(encode_record(records[-1]))  # crash-retried append
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert report.replayed_writes == 10  # duplicate skipped by seq
+        for lpn, data in written.items():
+            assert np.array_equal(ssd2.read(lpn), data)
+
+    def test_torn_tail_discarded_and_audit_passes(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        written = write_some(store, ssd, rng, count=10)
+        store.close()
+        with open(segment_path(tmp_path / "d"), "ab") as fh:
+            fh.write(b"\x40\x00\x00\x00partial")  # torn mid-payload
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert report.replayed_writes == 10
+        assert report.torn_bytes_discarded == 11
+        assert report.torn_reason == "truncated payload"
+        assert report.audit_failures == 0
+        for lpn, data in written.items():
+            assert np.array_equal(ssd2.read(lpn), data)
+
+    def test_internal_transitions_surface_as_counters(
+        self, tmp_path, rng
+    ) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        # Overwrite a small working set until GC must reclaim blocks.
+        for _ in range(200):
+            lpn = int(rng.integers(0, 4))
+            data = rng.integers(0, 2, size=GEOMETRY.page_bits).astype(np.uint8)
+            store.journal_write(lpn, data)
+            ssd.write(lpn, data)
+        store.commit()
+        assert ssd.ftl.stats.gc_runs > 0
+        scanned = scan_journal(segment_path(tmp_path / "d")).records
+        assert any(r.opcode == OpCode.GC_RECLAIM for r in scanned)
+        report = DurableStore(tmp_path / "d").recover(make_ssd())
+        assert report.internal_events.get("gc_reclaim", 0) > 0
+
+    def test_read_only_latch_replays(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        write_some(store, ssd, rng, count=5)
+        ssd.enter_read_only()
+        store.note_read_only()
+        store.note_read_only()  # idempotent: one record only
+        store.commit()
+        records = scan_journal(segment_path(tmp_path / "d")).records
+        assert sum(r.opcode == OpCode.READ_ONLY for r in records) == 1
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert report.replayed_read_only == 1
+        assert ssd2.read_only
+
+
+class TestCheckpointCadence:
+    def test_auto_checkpoint_bounds_replay(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=8)
+        ssd = make_ssd()
+        store.recover(ssd)
+        for i in range(30):
+            data = rng.integers(0, 2, size=GEOMETRY.page_bits).astype(np.uint8)
+            store.journal_write(i % ssd.logical_pages, data)
+            ssd.write(i % ssd.logical_pages, data)
+            store.commit()
+            store.maybe_checkpoint(ssd)
+        report = DurableStore(tmp_path / "d").recover(make_ssd())
+        assert report.replayed_writes <= 8
+
+    def test_rotation_prunes_superseded_files(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        write_some(store, ssd, rng, count=5)
+        store.checkpoint(ssd)
+        store.checkpoint(ssd)
+        names = sorted(os.listdir(tmp_path / "d"))
+        assert sum(n.endswith(".ckpt") for n in names) == 1
+        assert sum(n.endswith(".wal") for n in names) == 1
+
+    def test_explicit_checkpoint_restores_without_replay(
+        self, tmp_path, rng
+    ) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        written = write_some(store, ssd, rng)
+        store.checkpoint(ssd)
+        ssd2 = make_ssd()
+        report = DurableStore(tmp_path / "d").recover(ssd2)
+        assert report.replayed_writes == 0
+        for lpn, data in written.items():
+            assert np.array_equal(ssd2.read(lpn), data)
+
+
+class TestRefusals:
+    def test_newer_format_version_refused(self, tmp_path) -> None:
+        store = DurableStore(tmp_path / "d")
+        store.recover(make_ssd())
+        store.close()
+        manifest_path = tmp_path / "d" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DurabilityError, match="format version 99"):
+            DurableStore(tmp_path / "d").recover(make_ssd())
+
+    def test_mismatched_chain_refused(self, tmp_path, rng) -> None:
+        store = DurableStore(tmp_path / "d", checkpoint_every=0)
+        ssd = make_ssd()
+        store.recover(ssd)
+        write_some(store, ssd, rng, count=3)
+        store.checkpoint(ssd)
+        store.close()
+        # Swap in a different (valid) checkpoint without updating the
+        # journal's chained SHA: recovery must refuse the pair.
+        from repro.durability.checkpoint import write_checkpoint
+
+        manifest_path = tmp_path / "d" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        seq = manifest["checkpoint"]["seq"]
+        other = make_ssd()
+        name, sha = write_checkpoint(str(tmp_path / "d"),
+                                     other.checkpoint(), seq)
+        manifest["checkpoint"] = {"file": name, "sha256": sha, "seq": seq}
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DurabilityError, match="different"):
+            DurableStore(tmp_path / "d").recover(make_ssd())
+
+    def test_missing_segment_refused(self, tmp_path) -> None:
+        store = DurableStore(tmp_path / "d")
+        store.recover(make_ssd())
+        store.close()
+        os.unlink(segment_path(tmp_path / "d"))
+        with pytest.raises(DurabilityError, match="missing"):
+            DurableStore(tmp_path / "d").recover(make_ssd())
+
+    def test_journaling_before_recover_refused(self, tmp_path) -> None:
+        store = DurableStore(tmp_path / "d")
+        with pytest.raises(DurabilityError, match="recover"):
+            store.journal_write(0, np.zeros(64, dtype=np.uint8))
+        with pytest.raises(DurabilityError, match="recover"):
+            store.commit()
