@@ -12,8 +12,9 @@ north-star "production-scale serving" direction of the roadmap:
 * :mod:`repro.server.client` — :class:`StorageClient`, a pipelined
   asyncio client raising the same typed exceptions as the local device.
 * :mod:`repro.server.loadgen` — open/closed-loop load generators that
-  reuse the simulator's workload distributions and report latency
-  percentiles plus IOPS.
+  replay the same :mod:`repro.workload` op streams the simulator runs
+  (synthetic, trace, phased, multi-tenant mixes) and report latency
+  percentiles plus IOPS, per tenant and overall.
 * :mod:`repro.server.bench` — :class:`ServerBenchCell`, packaging one
   loopback serving experiment as a sweep-fabric cell (parallelizable via
   ``--jobs``, cacheable when deterministic).
@@ -26,6 +27,7 @@ from repro.server.client import StorageClient
 from repro.server.loadgen import (
     WORKLOADS,
     LoadgenResult,
+    TenantResult,
     closed_loop,
     make_workload,
     open_loop,
@@ -48,6 +50,7 @@ __all__ = [
     "Status",
     "StorageClient",
     "StorageService",
+    "TenantResult",
     "closed_loop",
     "make_workload",
     "open_loop",

@@ -29,6 +29,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.server.loadgen import LoadgenResult, run_closed_loop, run_open_loop
 from repro.server.service import ServerConfig, StorageService
 from repro.ssd.device import SSD
+from repro.workload import WorkloadSpec
 
 __all__ = ["ServerBenchCell", "ServerBenchResult"]
 
@@ -81,13 +82,22 @@ class ServerBenchCell:
     rate: float | None = None     # open loop: offered ops/second
     read_fraction: float = 0.0
     workload: str = "uniform"
+    #: Workload parameters as sorted pairs (trace path, zipf theta, ...).
+    workload_params: tuple[tuple[str, object], ...] = ()
+    tenants: int = 1
     seed: int = 2016
     max_batch: int = 32
     queue_depth: int = 256
     credit_window: int = 64
+    tenant_credit_window: int | None = None
     admission: str = "block"
     #: Extra ``make_scheme`` kwargs as sorted pairs (same idiom as SweepCell).
     kwargs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        """The cell's workload as a registry spec (shared cache-key idiom)."""
+        return WorkloadSpec(self.workload, self.workload_params)
 
     @property
     def cacheable(self) -> bool:
@@ -109,11 +119,13 @@ class ServerBenchCell:
             "ops_per_client": self.ops_per_client,
             "rate": self.rate,
             "read_fraction": self.read_fraction,
-            "workload": self.workload,
+            "workload": self.workload_spec.key_payload(),
+            "tenants": self.tenants,
             "seed": self.seed,
             "max_batch": self.max_batch,
             "queue_depth": self.queue_depth,
             "credit_window": self.credit_window,
+            "tenant_credit_window": self.tenant_credit_window,
             "admission": self.admission,
             "kwargs": [[key, value] for key, value in self.kwargs],
         }
@@ -146,9 +158,11 @@ class ServerBenchCell:
                 queue_depth=self.queue_depth,
                 credit_window=self.credit_window,
                 admission=self.admission,
+                tenant_credit_window=self.tenant_credit_window,
             ),
         )
         await service.start(port=0)
+        params = dict(self.workload_params)
         try:
             if self.mode == "open":
                 rate = self.rate if self.rate is not None else 1000.0
@@ -159,6 +173,8 @@ class ServerBenchCell:
                     workload=self.workload,
                     read_fraction=self.read_fraction,
                     seed=self.seed,
+                    tenants=self.tenants,
+                    **params,
                 )
             else:
                 result = await run_closed_loop(
@@ -168,6 +184,8 @@ class ServerBenchCell:
                     workload=self.workload,
                     read_fraction=self.read_fraction,
                     seed=self.seed,
+                    tenants=self.tenants,
+                    **params,
                 )
         finally:
             await service.stop()

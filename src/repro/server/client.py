@@ -69,9 +69,18 @@ class StorageClient:
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "StorageClient":
+    async def connect(
+        cls, host: str, port: int, tenant: int | None = None
+    ) -> "StorageClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if tenant is not None:
+            try:
+                await client.hello(tenant)
+            except BaseException:
+                await client.close()
+                raise
+        return client
 
     async def __aenter__(self) -> "StorageClient":
         return self
@@ -99,6 +108,10 @@ class StorageClient:
         """Device + server state (see ``StorageService._stat``)."""
         response = await self._request(Request(Opcode.STAT, 0))
         return response.stat
+
+    async def hello(self, tenant: int) -> None:
+        """Declare this connection's tenant for QoS accounting."""
+        await self._request(Request(Opcode.HELLO, 0, tenant=tenant))
 
     async def close(self) -> None:
         """Close the connection; pending requests fail with ConnectionLost."""
@@ -128,8 +141,8 @@ class StorageClient:
             raise ConnectionLostError(str(self._dead))
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
-        request = Request(request.opcode, request_id,
-                          lpn=request.lpn, data=request.data)
+        request = Request(request.opcode, request_id, lpn=request.lpn,
+                          data=request.data, tenant=request.tenant)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = (request.opcode, future)
         try:

@@ -1,9 +1,12 @@
 """Open- and closed-loop load generators with latency percentiles.
 
-Rewriting-code behavior is workload-dependent, so the generators reuse the
-exact :mod:`repro.ssd.workload` distributions the offline simulator runs
-(uniform / hotcold / zipf / sequential), consumed through the shared
-iterator protocol (``next(workload)``).
+Rewriting-code behavior is workload-dependent, so the generators consume
+the same typed op streams (:class:`~repro.workload.ops.Op`) the offline
+simulator runs, built from the central :mod:`repro.workload` registry —
+the identical ``WorkloadSpec`` replayed here and in
+:func:`~repro.ssd.simulator.run_until_death` produces the identical op
+sequence, payloads included (payloads derive from ``op.data_seed``, not
+from generator-local randomness).
 
 Two loop disciplines, the standard pair from storage benchmarking:
 
@@ -16,10 +19,20 @@ Two loop disciplines, the standard pair from storage benchmarking:
   coordinated omission).  Against a server in ``admission="reject"`` mode
   the shed requests are counted as ``busy``.
 
+Both loops are multi-tenant aware (``tenants=N``): closed-loop client
+``i`` drives tenant ``i % N`` with the same
+:func:`~repro.workload.mixed.derive_child_seed` streams a simulator-side
+:class:`~repro.workload.mixed.MixedWorkload` would interleave; the open
+loop drives one ``MixedWorkload`` schedule through one HELLO-tagged
+connection per tenant, dispatching each op to its tenant's connection.
+Results carry per-tenant latency percentiles (:class:`TenantResult`), so
+QoS isolation — whose p99 degrades, whose BUSY count climbs — is measured
+per tenant, not averaged away.
+
 Latencies are recorded per request and reported as exact sample
 percentiles (p50/p95/p99) plus achieved IOPS; the same numbers are also
-published to :mod:`repro.obs` (``loadgen.*``) so ``--metrics-out`` exports
-them.
+published to :mod:`repro.obs` (``loadgen.*`` and per-tenant
+``loadgen.tenant<N>.*``) so ``--metrics-out`` exports them.
 """
 
 from __future__ import annotations
@@ -41,17 +54,20 @@ from repro.obs import registry as _metrics
 from repro.obs.registry import TIME_BUCKETS
 from repro.obs.tracing import span as _span
 from repro.server.client import StorageClient
-from repro.ssd.workload import (
-    HotColdWorkload,
-    SequentialWorkload,
-    UniformWorkload,
+from repro.workload import (
+    WORKLOADS,
+    Op,
+    OpKind,
     Workload,
-    ZipfWorkload,
+    derive_child_seed,
+    make_workload,
+    payload_for,
 )
 
 __all__ = [
     "WORKLOADS",
     "LoadgenResult",
+    "TenantResult",
     "make_workload",
     "run_closed_loop",
     "run_open_loop",
@@ -59,30 +75,33 @@ __all__ = [
     "open_loop",
 ]
 
-WORKLOADS: dict[str, type[Workload]] = {
-    "uniform": UniformWorkload,
-    "hotcold": HotColdWorkload,
-    "zipf": ZipfWorkload,
-    "sequential": SequentialWorkload,
-}
-
 _LG_REQUESTS = _metrics.counter("loadgen.requests")
 _LG_ERRORS = _metrics.counter("loadgen.errors")
 _LG_BUSY = _metrics.counter("loadgen.busy")
 _LG_LATENCY = _metrics.histogram("loadgen.latency_seconds", TIME_BUCKETS)
 
 
-def make_workload(
-    name: str, logical_pages: int, seed: int, **kwargs
-) -> Workload:
-    """Instantiate one of the shared workload distributions by name."""
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown workload {name!r} (have: {sorted(WORKLOADS)})"
-        ) from None
-    return factory(logical_pages, seed=seed, **kwargs)
+@dataclass(frozen=True)
+class TenantResult:
+    """One tenant's slice of a load-generation run.
+
+    A tenant that completed zero requests reports all-zero counts and
+    percentiles (never raises): an idle tenant is a legitimate outcome of
+    a weighted mix, and sweeps aggregate these rows mechanically.
+    """
+
+    tenant: int
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    trims: int = 0
+    errors: int = 0
+    busy: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    max_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -104,13 +123,15 @@ class LoadgenResult:
     p99_ms: float
     mean_ms: float
     max_ms: float
+    trims: int = 0
+    per_tenant: tuple[TenantResult, ...] = ()
 
     def summary_line(self) -> str:
         offered = (
             f" offered={self.offered_iops:.0f}/s"
             if self.offered_iops is not None else ""
         )
-        return (
+        line = (
             f"{self.mode} loop: {self.ops} ops, {self.clients} clients,"
             f"{offered} {self.achieved_iops:.0f} IOPS, "
             f"p50={self.p50_ms:.2f}ms p95={self.p95_ms:.2f}ms "
@@ -118,6 +139,15 @@ class LoadgenResult:
             + (f", {self.busy} busy" if self.busy else "")
             + (f", {self.errors} errors" if self.errors else "")
         )
+        rows = self.per_tenant if len(self.per_tenant) > 1 else ()
+        for row in rows:
+            line += (
+                f"\n  tenant {row.tenant}: {row.ops} ops, "
+                f"p50={row.p50_ms:.2f}ms p99={row.p99_ms:.2f}ms"
+                + (f", {row.busy} busy" if row.busy else "")
+                + (f", {row.errors} errors" if row.errors else "")
+            )
+        return line
 
 
 def _percentile(sorted_ms: list[float], q: float) -> float:
@@ -128,6 +158,43 @@ def _percentile(sorted_ms: list[float], q: float) -> float:
     return sorted_ms[rank - 1]
 
 
+class _TenantTally:
+    """One tenant's accumulator, with its obs instruments pre-resolved."""
+
+    def __init__(self, tenant: int) -> None:
+        self.tenant = tenant
+        self.latencies: list[float] = []  # seconds
+        self.reads = 0
+        self.writes = 0
+        self.trims = 0
+        self.errors = 0
+        self.busy = 0
+        prefix = f"loadgen.tenant{tenant}"
+        self._requests = _metrics.counter(f"{prefix}.requests")
+        self._errors_counter = _metrics.counter(f"{prefix}.errors")
+        self._busy_counter = _metrics.counter(f"{prefix}.busy")
+        self._latency = _metrics.histogram(
+            f"{prefix}.latency_seconds", TIME_BUCKETS
+        )
+
+    def result(self) -> TenantResult:
+        ms = sorted(lat * 1e3 for lat in self.latencies)
+        return TenantResult(
+            tenant=self.tenant,
+            ops=len(ms),
+            reads=self.reads,
+            writes=self.writes,
+            trims=self.trims,
+            errors=self.errors,
+            busy=self.busy,
+            p50_ms=_percentile(ms, 0.50),
+            p95_ms=_percentile(ms, 0.95),
+            p99_ms=_percentile(ms, 0.99),
+            mean_ms=float(np.mean(ms)) if ms else 0.0,
+            max_ms=ms[-1] if ms else 0.0,
+        )
+
+
 class _Tally:
     """Mutable accumulator shared by all generator tasks of one run."""
 
@@ -135,25 +202,51 @@ class _Tally:
         self.latencies: list[float] = []  # seconds
         self.reads = 0
         self.writes = 0
+        self.trims = 0
         self.errors = 0
         self.busy = 0
+        self.tenants: dict[int, _TenantTally] = {}
 
-    def record(self, seconds: float) -> None:
+    def bucket(self, tenant: int) -> _TenantTally:
+        sub = self.tenants.get(tenant)
+        if sub is None:
+            sub = self.tenants[tenant] = _TenantTally(tenant)
+        return sub
+
+    def record(self, tenant: int, seconds: float) -> None:
         self.latencies.append(seconds)
         _LG_REQUESTS.inc()
         _LG_LATENCY.observe(seconds)
+        sub = self.bucket(tenant)
+        sub.latencies.append(seconds)
+        sub._requests.inc()
+        sub._latency.observe(seconds)
 
     def result(
-        self, mode: str, clients: int, wall: float, offered: float | None
+        self,
+        mode: str,
+        clients: int,
+        wall: float,
+        offered: float | None,
+        tenants: int = 1,
     ) -> LoadgenResult:
         ms = sorted(lat * 1e3 for lat in self.latencies)
         ops = len(ms)
+        # Every tenant the run was configured for gets a row, including
+        # tenants that completed nothing (all-zero, see TenantResult).
+        for tenant in range(tenants):
+            self.bucket(tenant)
+        per_tenant = tuple(
+            self.tenants[tenant].result()
+            for tenant in sorted(self.tenants)
+        )
         return LoadgenResult(
             mode=mode,
             clients=clients,
             ops=ops,
             reads=self.reads,
             writes=self.writes,
+            trims=self.trims,
             errors=self.errors,
             busy=self.busy,
             wall_seconds=wall,
@@ -164,36 +257,47 @@ class _Tally:
             p99_ms=_percentile(ms, 0.99),
             mean_ms=float(np.mean(ms)) if ms else 0.0,
             max_ms=ms[-1] if ms else 0.0,
+            per_tenant=per_tenant,
         )
 
 
 async def _issue(
-    client: StorageClient,
-    tally: _Tally,
-    lpn: int,
-    data: np.ndarray | None,
+    client: StorageClient, tally: _Tally, op: Op, bits: int
 ) -> bool:
     """One timed request; returns False when the device is end-of-life."""
     start = time.perf_counter()
+    sub = tally.bucket(op.tenant)
     try:
-        if data is None:
-            await client.read(lpn)
+        if op.kind is OpKind.READ:
+            await client.read(op.lpn)
             tally.reads += 1
+            sub.reads += 1
+        elif op.kind is OpKind.TRIM:
+            await client.trim(op.lpn)
+            tally.trims += 1
+            sub.trims += 1
         else:
-            await client.write(lpn, data)
+            await client.write(op.lpn, payload_for(op, bits))
             tally.writes += 1
+            sub.writes += 1
     except ServerBusyError:
         tally.busy += 1
+        sub.busy += 1
         _LG_BUSY.inc()
+        sub._busy_counter.inc()
     except ReadOnlyModeError:
         tally.errors += 1
+        sub.errors += 1
         _LG_ERRORS.inc()
-        tally.record(time.perf_counter() - start)
+        sub._errors_counter.inc()
+        tally.record(op.tenant, time.perf_counter() - start)
         return False  # device is dead for writes; stop hammering it
     except (ReproError, ConnectionLostError):
         tally.errors += 1
+        sub.errors += 1
         _LG_ERRORS.inc()
-    tally.record(time.perf_counter() - start)
+        sub._errors_counter.inc()
+    tally.record(op.tenant, time.perf_counter() - start)
     return True
 
 
@@ -202,6 +306,22 @@ async def _fetch_geometry(host: str, port: int) -> tuple[int, int]:
     async with await StorageClient.connect(host, port) as client:
         info = await client.stat()
     return info["logical_pages"], info["dataword_bits"]
+
+
+def _stream_kwargs(read_fraction: float, workload_kwargs: dict) -> dict:
+    """Fold the legacy ``read_fraction`` knob into workload parameters.
+
+    Kind mixing lives in the workload layer now (the op stream decides
+    READ vs WRITE), so the flag becomes the synthetic distributions'
+    ``read_fraction`` parameter.  Trace workloads take their kinds from
+    the trace itself and reject the parameter via the registry.
+    """
+    if not 0 <= read_fraction <= 1:
+        raise ConfigurationError("read_fraction must lie in [0, 1]")
+    kwargs = dict(workload_kwargs)
+    if read_fraction:
+        kwargs["read_fraction"] = read_fraction
+    return kwargs
 
 
 async def run_closed_loop(
@@ -213,38 +333,52 @@ async def run_closed_loop(
     workload: str = "uniform",
     read_fraction: float = 0.0,
     seed: int = 0,
+    tenants: int = 1,
     **workload_kwargs,
 ) -> LoadgenResult:
-    """``clients`` connections, one outstanding request each."""
+    """``clients`` connections, one outstanding request each.
+
+    With ``tenants=N`` client ``i`` serves tenant ``i % N``: its
+    connection HELLOs the tenant id and its stream is the tenant's
+    :func:`~repro.workload.mixed.derive_child_seed` child, so with
+    ``clients == tenants`` each tenant replays exactly the stream a
+    simulator-side ``MixedWorkload`` over the same spec would deal it.
+    """
     if clients < 1 or ops_per_client < 1:
         raise ConfigurationError("need at least one client and one op")
-    if not 0 <= read_fraction <= 1:
-        raise ConfigurationError("read_fraction must lie in [0, 1]")
+    if not 1 <= tenants <= clients:
+        raise ConfigurationError(
+            "tenants must lie in [1, clients] (each tenant needs a client)"
+        )
+    kwargs = _stream_kwargs(read_fraction, workload_kwargs)
     logical_pages, bits = await _fetch_geometry(host, port)
     tally = _Tally()
 
     async def one_client(index: int) -> None:
-        stream = make_workload(
-            workload, logical_pages, seed + index, **workload_kwargs
-        )
-        mix = np.random.default_rng((seed, index, 0xC1))
-        async with await StorageClient.connect(host, port) as client:
+        if tenants > 1:
+            tenant = index % tenants
+            stream = make_workload(
+                workload, logical_pages,
+                seed=derive_child_seed(seed, index), tenant=tenant, **kwargs,
+            )
+            client = await StorageClient.connect(host, port, tenant=tenant)
+        else:
+            stream = make_workload(
+                workload, logical_pages, seed=seed + index, **kwargs
+            )
+            client = await StorageClient.connect(host, port)
+        async with client:
             for _ in range(ops_per_client):
-                lpn = next(stream)
-                if mix.random() < read_fraction:
-                    alive = await _issue(client, tally, lpn, None)
-                else:
-                    alive = await _issue(
-                        client, tally, lpn, stream.next_data(bits)
-                    )
-                if not alive:
+                if not await _issue(client, tally, next(stream), bits):
                     break
 
-    with _span("loadgen.run", mode="closed", clients=clients):
+    with _span("loadgen.run", mode="closed", clients=clients,
+               tenants=tenants):
         start = time.perf_counter()
         await asyncio.gather(*(one_client(i) for i in range(clients)))
         wall = time.perf_counter() - start
-    return tally.result("closed", clients, wall, offered=None)
+    return tally.result("closed", clients, wall, offered=None,
+                        tenants=tenants)
 
 
 async def run_open_loop(
@@ -256,6 +390,7 @@ async def run_open_loop(
     workload: str = "uniform",
     read_fraction: float = 0.0,
     seed: int = 0,
+    tenants: int = 1,
     **workload_kwargs,
 ) -> LoadgenResult:
     """Issue ``total_ops`` requests at ``rate`` per second, pipelined.
@@ -263,36 +398,54 @@ async def run_open_loop(
     The schedule never waits for completions: a slow server accumulates
     in-flight requests (and queueing latency) instead of slowing the
     generator down.
+
+    With ``tenants=N`` the schedule is one
+    :class:`~repro.workload.mixed.MixedWorkload` interleave of ``N``
+    child streams of the named workload — the same composite stream the
+    simulator would run — and each op goes out on its tenant's own
+    HELLO-tagged connection, so server-side per-tenant QoS (credit
+    windows, BUSY shedding) applies to the offender alone.
     """
     if rate <= 0:
         raise ConfigurationError("rate must be positive")
     if total_ops < 1:
         raise ConfigurationError("need at least one op")
-    if not 0 <= read_fraction <= 1:
-        raise ConfigurationError("read_fraction must lie in [0, 1]")
+    if tenants < 1:
+        raise ConfigurationError("need at least one tenant")
+    kwargs = _stream_kwargs(read_fraction, workload_kwargs)
     logical_pages, bits = await _fetch_geometry(host, port)
     tally = _Tally()
-    stream = make_workload(workload, logical_pages, seed, **workload_kwargs)
-    mix = np.random.default_rng((seed, 0xA9))
-    with _span("loadgen.run", mode="open", rate=rate, total_ops=total_ops):
-        async with await StorageClient.connect(host, port) as client:
+    if tenants > 1:
+        stream: Workload = make_workload(
+            "mixed", logical_pages, seed=seed,
+            base=workload, tenants=tenants, **kwargs,
+        )
+    else:
+        stream = make_workload(workload, logical_pages, seed=seed, **kwargs)
+    clients: dict[int, StorageClient] = {}
+    with _span("loadgen.run", mode="open", rate=rate, total_ops=total_ops,
+               tenants=tenants):
+        try:
+            for tenant in range(tenants):
+                clients[tenant] = await StorageClient.connect(
+                    host, port, tenant=tenant if tenants > 1 else None
+                )
             start = time.perf_counter()
             tasks = []
             for k in range(total_ops):
                 delay = start + k / rate - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
-                lpn = next(stream)
-                data = (
-                    None if mix.random() < read_fraction
-                    else stream.next_data(bits)
-                )
-                tasks.append(
-                    asyncio.ensure_future(_issue(client, tally, lpn, data))
-                )
+                op = next(stream)
+                tasks.append(asyncio.ensure_future(
+                    _issue(clients[op.tenant], tally, op, bits)
+                ))
             await asyncio.gather(*tasks)
             wall = time.perf_counter() - start
-    return tally.result("open", 1, wall, offered=rate)
+        finally:
+            for client in clients.values():
+                await client.close()
+    return tally.result("open", tenants, wall, offered=rate, tenants=tenants)
 
 
 def closed_loop(host: str, port: int, **kwargs) -> LoadgenResult:

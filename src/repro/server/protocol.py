@@ -12,6 +12,7 @@ Request body::
     WRITE payload:  u64 lpn | u32 nbits | ceil(nbits / 8) packed data bytes
     TRIM  payload:  u64 lpn
     STAT  payload:  (empty)
+    HELLO payload:  u16 tenant
 
 Response body::
 
@@ -27,6 +28,11 @@ Page data crosses the wire bit-packed (``np.packbits``), so a 4 KB page's
 client-chosen correlation token: responses may be delivered out of order
 relative to *other* connections, but each connection's requests are
 executed in arrival order, so pipelining is safe.
+
+``HELLO`` declares which tenant the connection's subsequent requests bill
+against (per-tenant admission credits and QoS accounting); connections
+that never send it belong to tenant 0, which keeps old clients working
+unchanged.
 
 Framing errors are unrecoverable for a stream (the receiver can no longer
 find the next frame boundary), so oversized and truncated frames raise
@@ -74,6 +80,7 @@ _REQ_HEAD = struct.Struct("!BI")  # opcode, request_id
 _RESP_HEAD = struct.Struct("!BI")  # status, request_id
 _LPN = struct.Struct("!Q")
 _NBITS = struct.Struct("!I")
+_TENANT = struct.Struct("!H")
 
 
 class Opcode(enum.IntEnum):
@@ -83,6 +90,7 @@ class Opcode(enum.IntEnum):
     WRITE = 2
     TRIM = 3
     STAT = 4
+    HELLO = 5
 
 
 class Status(enum.IntEnum):
@@ -106,6 +114,7 @@ class Request:
     request_id: int
     lpn: int = 0
     data: np.ndarray | None = None  # unpacked bits for WRITE
+    tenant: int = 0                 # tenant tag for HELLO
 
 
 @dataclass(frozen=True)
@@ -193,6 +202,8 @@ def encode_request(request: Request) -> bytes:
         nbits = int(np.asarray(request.data).shape[0])
         body += _LPN.pack(request.lpn) + _NBITS.pack(nbits)
         body += pack_bits(request.data)
+    elif request.opcode is Opcode.HELLO:
+        body += _TENANT.pack(request.tenant)
     elif request.opcode is not Opcode.STAT:
         raise ProtocolError(f"unknown opcode {request.opcode!r}")
     return frame(body)
@@ -221,6 +232,11 @@ def decode_request(body: bytes) -> Request:
         (nbits,) = _NBITS.unpack_from(rest, _LPN.size)
         data = unpack_bits(rest[head:], nbits)
         return Request(opcode, request_id, lpn=lpn, data=data)
+    if opcode is Opcode.HELLO:
+        if len(rest) != _TENANT.size:
+            raise ProtocolError("HELLO payload must be one u16 tenant")
+        (tenant,) = _TENANT.unpack(rest)
+        return Request(opcode, request_id, tenant=tenant)
     if rest:
         raise ProtocolError("STAT requests carry no payload")
     return Request(opcode, request_id)
@@ -268,7 +284,7 @@ def decode_response(body: bytes, expect: Opcode | None = None) -> Response:
             return Response(status, request_id, stat=json.loads(rest))
         except json.JSONDecodeError:
             raise ProtocolError("STAT payload is not valid JSON") from None
-    if expect in (Opcode.WRITE, Opcode.TRIM):
+    if expect in (Opcode.WRITE, Opcode.TRIM, Opcode.HELLO):
         raise ProtocolError(f"{expect.name} responses carry no payload")
     if len(rest) < _NBITS.size:
         raise ProtocolError("READ payload is truncated")

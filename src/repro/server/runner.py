@@ -41,6 +41,7 @@ from repro.server.loadgen import (
 )
 from repro.server.service import ServerConfig, StorageService
 from repro.ssd.device import SSD
+from repro.workload import parse_phase_spec
 
 __all__ = ["main"]
 
@@ -65,6 +66,10 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
                        help="global pending-request bound")
     group.add_argument("--credit-window", type=int, default=64,
                        help="per-connection un-answered request bound")
+    group.add_argument("--tenant-credit-window", type=int, default=None,
+                       metavar="N",
+                       help="shared per-tenant un-answered request bound "
+                            "(QoS isolation; off by default)")
     group.add_argument("--admission", choices=("block", "reject"),
                        default="block",
                        help="full queue: block readers or answer BUSY")
@@ -125,7 +130,21 @@ def _server_config(args: argparse.Namespace) -> ServerConfig:
         queue_depth=args.queue_depth,
         credit_window=args.credit_window,
         admission=args.admission,
+        tenant_credit_window=args.tenant_credit_window,
     )
+
+
+def _workload_choice(args: argparse.Namespace) -> tuple[str, dict]:
+    """Resolve the bench workload flags into (registry name, parameters)."""
+    if args.trace and args.phase:
+        raise ConfigurationError("--trace and --phase are mutually exclusive")
+    if args.trace:
+        return "trace", {
+            "path": args.trace, "page_bytes": args.trace_page_bytes,
+        }
+    if args.phase:
+        return "phased", {"schedule": parse_phase_spec(args.phase)}
+    return args.workload, {}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -165,6 +184,20 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--read-fraction", type=float, default=0.0)
     bench.add_argument("--workload", choices=sorted(WORKLOADS),
                        default="uniform")
+    bench.add_argument("--trace", metavar="PATH",
+                       help="replay a block trace instead of a synthetic "
+                            "workload (CSV timestamp,op,offset,size or "
+                            "newline-LPN format, sniffed)")
+    bench.add_argument("--trace-page-bytes", type=int, default=4096,
+                       help="logical page size used to map CSV trace byte "
+                            "offsets to pages")
+    bench.add_argument("--phase", metavar="SPEC",
+                       help="time-varying load: comma-separated NAME:OPS "
+                            "phases, e.g. 'uniform:200,hotcold:100'")
+    bench.add_argument("--tenants", type=int, default=1,
+                       help="drive N tenants (weighted interleave in open "
+                            "mode, one tenant per client in closed mode) "
+                            "and report per-tenant percentiles")
     bench.add_argument("--seed", type=int, default=2016)
     bench.add_argument("--jobs", type=int, default=1,
                        help="loopback sweep: worker processes (one loopback "
@@ -297,6 +330,20 @@ def _result_row(result: LoadgenResult) -> str:
     )
 
 
+def _print_tenants(result: LoadgenResult) -> None:
+    """Per-tenant breakdown rows (only interesting for multi-tenant runs)."""
+    if len(result.per_tenant) <= 1:
+        return
+    for row in result.per_tenant:
+        print(
+            f"    tenant {row.tenant}: {row.ops} ops "
+            f"({row.reads}r/{row.writes}w/{row.trims}t) "
+            f"p50={row.p50_ms:.2f}ms p95={row.p95_ms:.2f}ms "
+            f"p99={row.p99_ms:.2f}ms busy={row.busy} errors={row.errors}",
+            flush=True,
+        )
+
+
 def _bench(args: argparse.Namespace) -> int:
     if args.connect:
         return _bench_connect(args)
@@ -306,6 +353,7 @@ def _bench(args: argparse.Namespace) -> int:
 def _bench_connect(args: argparse.Namespace) -> int:
     """Drive an external server once per --clients sweep point."""
     host, port = _parse_hostport(args.connect)
+    workload, params = _workload_choice(args)
     _wait_ready(host, port, args.connect_timeout)
     print(_HEADER)
     for clients in args.clients:
@@ -314,25 +362,31 @@ def _bench_connect(args: argparse.Namespace) -> int:
                 host, port,
                 rate=args.rate,
                 total_ops=clients * args.ops,
-                workload=args.workload,
+                workload=workload,
                 read_fraction=args.read_fraction,
                 seed=args.seed,
+                tenants=args.tenants,
+                **params,
             )
         else:
             result = closed_loop(
                 host, port,
                 clients=clients,
                 ops_per_client=args.ops,
-                workload=args.workload,
+                workload=workload,
                 read_fraction=args.read_fraction,
                 seed=args.seed,
+                tenants=args.tenants,
+                **params,
             )
         print(_result_row(result), flush=True)
+        _print_tenants(result)
     return 0
 
 
 def _bench_loopback(args: argparse.Namespace) -> int:
     """Concurrency sweep over self-contained loopback cells."""
+    workload, params = _workload_choice(args)
     cells = [
         ServerBenchCell(
             scheme=args.scheme,
@@ -346,11 +400,14 @@ def _bench_loopback(args: argparse.Namespace) -> int:
             ops_per_client=args.ops,
             rate=args.rate if args.mode == "open" else None,
             read_fraction=args.read_fraction,
-            workload=args.workload,
+            workload=workload,
+            workload_params=tuple(sorted(params.items())),
+            tenants=args.tenants,
             seed=args.seed,
             max_batch=args.max_batch,
             queue_depth=args.queue_depth,
             credit_window=args.credit_window,
+            tenant_credit_window=args.tenant_credit_window,
             admission=args.admission,
             kwargs=tuple(sorted(_scheme_kwargs(args).items())),
         )
@@ -367,6 +424,7 @@ def _bench_loopback(args: argparse.Namespace) -> int:
               f"{result.lifetime_state:>9}",
             flush=True,
         )
+        _print_tenants(result.loadgen)
     return 0
 
 

@@ -40,7 +40,18 @@ client's TCP socket) and a global *queue depth*.  With the default
 ``admission="block"`` a full queue also pauses readers; with
 ``admission="reject"`` the service sheds load instead, answering
 ``Status.BUSY`` immediately so open-loop generators can measure the shed
-rate.  Once the device latches end-of-life read-only mode every write is
+rate.
+
+**Multi-tenant QoS (optional).**  Connections declare a tenant with the
+``HELLO`` opcode (undeclared connections are tenant 0).  When
+``tenant_credit_window`` is set, each tenant additionally shares one
+credit window across *all* of its connections: in reject mode a tenant
+that exhausts its window gets ``Status.BUSY`` on the spot while other
+tenants sail through; in block mode only the offender's readers pause.
+That isolates a pipelining hog from well-behaved neighbours without
+partitioning the device.  Per-tenant request/op/busy counts are kept in
+``tenant_stats`` (exposed through STAT) and mirrored into
+:mod:`repro.obs` as ``server.tenant<N>.*`` counters.  Once the device latches end-of-life read-only mode every write is
 answered with the typed ``Status.READ_ONLY`` error while reads keep
 serving — the wire-level version of the PR 1 graceful-degradation
 contract.
@@ -126,6 +137,7 @@ class ServerConfig:
     credit_window: int = 64     # per-connection un-answered request bound
     admission: str = "block"    # "block" = backpressure, "reject" = BUSY
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    tenant_credit_window: int | None = None  # shared per-tenant bound
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -134,6 +146,11 @@ class ServerConfig:
             raise ConfigurationError("queue_depth must be at least 1")
         if self.credit_window < 1:
             raise ConfigurationError("credit_window must be at least 1")
+        if self.tenant_credit_window is not None \
+                and self.tenant_credit_window < 1:
+            raise ConfigurationError(
+                "tenant_credit_window must be at least 1 (or None)"
+            )
         if self.admission not in ("block", "reject"):
             raise ConfigurationError(
                 f"admission must be 'block' or 'reject', got "
@@ -157,26 +174,48 @@ class ServerStats:
     batches: int = 0         # write_batch flushes issued
     coalesced_writes: int = 0  # writes that shared a flush with >= 1 other
     max_batch_size: int = 0
+    hellos: int = 0          # tenant declarations received
 
     def summary(self) -> dict[str, int]:
         return dict(self.__dict__)
 
 
+def _new_tenant_stats() -> dict[str, int]:
+    """Fresh per-tenant accounting bucket (see ``StorageService._tenant``)."""
+    return {
+        "requests": 0,
+        "reads": 0,
+        "writes": 0,
+        "trims": 0,
+        "stat_requests": 0,
+        "busy_rejected": 0,
+        "connections": 0,
+    }
+
+
 class _Op:
     """One admitted request waiting for (or undergoing) device execution."""
 
-    __slots__ = ("request", "conn", "arrival")
+    __slots__ = ("request", "conn", "arrival", "tenant", "tenant_credits")
 
-    def __init__(self, request: Request, conn: "_Connection") -> None:
+    def __init__(
+        self,
+        request: Request,
+        conn: "_Connection",
+        tenant_credits: asyncio.Semaphore | None = None,
+    ) -> None:
         self.request = request
         self.conn = conn
         self.arrival = time.perf_counter()
+        self.tenant = conn.tenant
+        self.tenant_credits = tenant_credits  # held until _finish, if any
 
 
 class _Connection:
     """Per-connection reader state, response queue, and credit window."""
 
-    __slots__ = ("reader", "writer", "credits", "_out", "_writer_task")
+    __slots__ = ("reader", "writer", "credits", "tenant", "_out",
+                 "_writer_task")
 
     def __init__(
         self,
@@ -187,6 +226,7 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.credits = asyncio.Semaphore(credit_window)
+        self.tenant = 0  # until a HELLO declares otherwise
         self._out: asyncio.Queue = asyncio.Queue()
         self._writer_task = asyncio.create_task(self._write_loop())
 
@@ -241,6 +281,8 @@ class StorageService:
         self.config = config or ServerConfig()
         self.store = store
         self.stats = ServerStats()
+        self.tenant_stats: dict[int, dict[str, int]] = {}
+        self._tenant_credits: dict[int, asyncio.Semaphore] = {}
         self.recovery_report: RecoveryReport | None = None
         self._server: asyncio.base_events.Server | None = None
         self._device_task: asyncio.Task | None = None
@@ -361,6 +403,15 @@ class StorageService:
                     self._send_error(conn, _request_id_of(body),
                                      Status.BAD_REQUEST, str(exc))
                     continue
+                if request.opcode is Opcode.HELLO:
+                    # Pure serving-layer state: never queued to the device.
+                    conn.tenant = request.tenant
+                    self.stats.hellos += 1
+                    self._tenant(request.tenant)["connections"] += 1
+                    conn.respond(protocol.encode_response(
+                        Response(Status.OK, request.request_id)
+                    ))
+                    continue
                 await self._admit(conn, request)
         except ProtocolError:
             # Framing is broken (truncated/oversized frame): the stream
@@ -399,12 +450,35 @@ class StorageService:
                     "server is replaying its journal; retry shortly",
                 )
             return
-        op = _Op(request, conn)
+        tenant_credits = self._tenant_window(conn.tenant)
+        if tenant_credits is not None:
+            if self.config.admission == "reject" and tenant_credits.locked():
+                # The tenant's shared window is exhausted: shed *this*
+                # tenant's request while its neighbours stay unaffected.
+                conn.credits.release()
+                self.stats.rejected += 1
+                _REJECTED.inc()
+                bucket = self._tenant(conn.tenant)
+                bucket["busy_rejected"] += 1
+                _metrics.counter(
+                    f"server.tenant{conn.tenant}.busy_rejected"
+                ).inc()
+                self._send_error(
+                    conn, request.request_id, Status.BUSY,
+                    f"tenant {conn.tenant} credit window is full",
+                )
+                return
+            # Block mode: only this tenant's readers park here; other
+            # tenants' connections keep being read.
+            await tenant_credits.acquire()
+        op = _Op(request, conn, tenant_credits)
         if self.config.admission == "reject":
             try:
                 self._queue.put_nowait(op)
             except asyncio.QueueFull:
                 conn.credits.release()
+                if tenant_credits is not None:
+                    tenant_credits.release()
                 self.stats.rejected += 1
                 _REJECTED.inc()
                 self._send_error(conn, request.request_id, Status.BUSY,
@@ -413,6 +487,23 @@ class StorageService:
         else:
             await self._queue.put(op)  # blocks the reader: backpressure
         _QUEUE_DEPTH.set(self._queue.qsize())
+
+    def _tenant(self, tenant: int) -> dict[str, int]:
+        """Get-or-create one tenant's accounting bucket."""
+        bucket = self.tenant_stats.get(tenant)
+        if bucket is None:
+            bucket = self.tenant_stats[tenant] = _new_tenant_stats()
+        return bucket
+
+    def _tenant_window(self, tenant: int) -> asyncio.Semaphore | None:
+        """The tenant's shared credit window (None when QoS is off)."""
+        window = self.config.tenant_credit_window
+        if window is None:
+            return None
+        sem = self._tenant_credits.get(tenant)
+        if sem is None:
+            sem = self._tenant_credits[tenant] = asyncio.Semaphore(window)
+        return sem
 
     def _send_error(
         self, conn: _Connection, request_id: int, status: Status, message: str
@@ -465,6 +556,13 @@ class StorageService:
         field = _OP_FIELDS[op.request.opcode]
         setattr(self.stats, field, getattr(self.stats, field) + 1)
         _OP_COUNTERS[op.request.opcode].inc()
+        bucket = self._tenant(op.tenant)
+        bucket["requests"] += 1
+        bucket[field] += 1
+        _metrics.counter(f"server.tenant{op.tenant}.requests").inc()
+        _metrics.counter(f"server.tenant{op.tenant}.{field}").inc()
+        if op.tenant_credits is not None:
+            op.tenant_credits.release()
         op.conn.credits.release()
         op.conn.respond(payload)
 
@@ -661,8 +759,14 @@ class StorageService:
                 "queue_depth": self.config.queue_depth,
                 "credit_window": self.config.credit_window,
                 "admission": self.config.admission,
+                "tenant_credit_window": self.config.tenant_credit_window,
             },
         }
+        if self.tenant_stats:
+            payload["tenants"] = {
+                str(tenant): dict(bucket)
+                for tenant, bucket in sorted(self.tenant_stats.items())
+            }
         payload["recovering"] = False
         if self.store is not None:
             payload["durability"] = self._durability_stat()

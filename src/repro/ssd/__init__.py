@@ -8,12 +8,16 @@ device runs out of usable blocks), including the interaction with wear
 leveling that Section IX discusses.
 """
 
-from repro.ssd.workload import (
+from repro.workload import (
     Workload,
     UniformWorkload,
     HotColdWorkload,
     ZipfWorkload,
     SequentialWorkload,
+    TraceWorkload,
+    load_trace,
+    record_trace,
+    save_trace,
 )
 from repro.ssd.device import SSD
 from repro.ssd.array import StripedDevice
@@ -23,7 +27,6 @@ from repro.ssd.simulator import (
     run_until_death,
 )
 from repro.ssd.report import format_device_report, format_reliability_report
-from repro.ssd.trace import TraceWorkload, load_trace, record_trace, save_trace
 
 __all__ = [
     "Workload",

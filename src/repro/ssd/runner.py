@@ -5,6 +5,8 @@ Examples::
     python -m repro.ssd --schemes uncoded wom mfc-1/2-1bpc
     python -m repro.ssd --workload hotcold --wear-leveling none dynamic
     python -m repro.ssd --trace writes.trace --schemes wom
+    python -m repro.ssd --trace blocks.csv --tenants 2
+    python -m repro.ssd --phase uniform:200,hotcold:100
 """
 
 from __future__ import annotations
@@ -21,22 +23,9 @@ from repro.ftl import DynamicWearLeveling, NoWearLeveling, StaticWearLeveling
 from repro.ssd.device import SSD
 from repro.ssd.report import format_device_report, format_reliability_report
 from repro.ssd.simulator import run_until_death
-from repro.ssd.trace import TraceWorkload, load_trace
-from repro.ssd.workload import (
-    HotColdWorkload,
-    SequentialWorkload,
-    UniformWorkload,
-    ZipfWorkload,
-)
+from repro.workload import WORKLOADS, make_workload, parse_phase_spec
 
 __all__ = ["main"]
-
-WORKLOADS = {
-    "uniform": UniformWorkload,
-    "hotcold": HotColdWorkload,
-    "zipf": ZipfWorkload,
-    "sequential": SequentialWorkload,
-}
 
 WEAR_POLICIES = {
     "none": NoWearLeveling,
@@ -56,7 +45,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", choices=sorted(WORKLOADS),
                         default="uniform")
     parser.add_argument("--trace", help="replay a trace file instead of a "
-                        "synthetic workload")
+                        "synthetic workload (CSV timestamp,op,offset,size "
+                        "or newline-LPN format, sniffed)")
+    parser.add_argument("--trace-page-bytes", type=int, default=4096,
+                        help="logical page size used to map CSV trace byte "
+                        "offsets to pages")
+    parser.add_argument("--phase", metavar="SPEC",
+                        help="time-varying load: comma-separated NAME:OPS "
+                        "phases, e.g. 'uniform:200,hotcold:100'")
+    parser.add_argument("--tenants", type=int, default=1,
+                        help="interleave N tenant streams of the chosen "
+                        "workload (weighted multi-tenant mix)")
     parser.add_argument("--wear-leveling", nargs="+",
                         choices=sorted(WEAR_POLICIES), default=["dynamic"])
     parser.add_argument("--blocks", type=int, default=8)
@@ -131,7 +130,20 @@ def _run(args: argparse.Namespace) -> int:
         retention_rate=args.fault_retention,
     )
     faults_on = fault_profile.active
-    trace = load_trace(args.trace) if args.trace else None
+    if args.trace and args.phase:
+        raise ConfigurationError("--trace and --phase are mutually exclusive")
+    if args.trace:
+        name, params = "trace", {
+            "path": args.trace, "page_bytes": args.trace_page_bytes,
+        }
+    elif args.phase:
+        name, params = "phased", {"schedule": parse_phase_spec(args.phase)}
+    else:
+        name, params = args.workload, {}
+    if args.tenants > 1:
+        name, params = "mixed", {
+            "base": name, "tenants": args.tenants, **params,
+        }
     results = []
     for policy_name in args.wear_leveling:
         for scheme in args.schemes:
@@ -149,11 +161,9 @@ def _run(args: argparse.Namespace) -> int:
                 fault_seed=args.fault_seed,
                 **kwargs,
             )
-            if trace is not None:
-                workload = TraceWorkload(ssd.logical_pages, trace, seed=args.seed)
-            else:
-                workload = WORKLOADS[args.workload](ssd.logical_pages,
-                                                    seed=args.seed)
+            workload = make_workload(
+                name, ssd.logical_pages, seed=args.seed, **params
+            )
             result = run_until_death(ssd, workload,
                                      max_writes=args.max_writes,
                                      scrub_interval=args.scrub_interval)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import (
     ConfigurationError,
     OutOfSpaceError,
@@ -14,7 +16,7 @@ from repro.errors import (
 from repro.obs import registry as _metrics
 from repro.obs.tracing import span as _span
 from repro.ssd.device import SSD
-from repro.ssd.workload import Workload
+from repro.workload import Op, OpKind, Workload, payload_for
 
 __all__ = ["DeviceLifetimeResult", "audit_survivors", "run_until_death"]
 
@@ -71,6 +73,7 @@ class DeviceLifetimeResult:
     host_reads: int = 0
     host_bits_read: int = 0
     first_failure_write: int | None = None
+    host_trims: int = 0
 
     @property
     def writes_per_erase(self) -> float:
@@ -105,8 +108,16 @@ def run_until_death(
     max_writes: int = 1_000_000,
     scrub_interval: int | None = None,
     audit: bool | None = None,
+    max_ops: int | None = None,
 ) -> DeviceLifetimeResult:
     """Drive ``workload`` into ``ssd`` until it can no longer accept writes.
+
+    The workload is a typed op stream (:class:`~repro.workload.ops.Op`):
+    WRITEs carry deterministic payload seeds, READs exercise the read path
+    (uncorrectable reads are absorbed into the FTL's loss accounting, not
+    raised), and TRIMs discard pages.  Legacy iterators that yield bare
+    LPN ints are still accepted and treated as writes with
+    generator-drawn payloads.
 
     Death is any of the end-of-life signals — the FTL running out of free
     pages (:class:`~repro.errors.OutOfSpaceError`), a program failure the
@@ -115,9 +126,10 @@ def run_until_death(
     latched read-only.  The device is left in read-only mode either way, so
     callers can keep reading surviving data from the corpse.
 
-    Stops early after ``max_writes`` (returning the partial result) so
-    callers can bound simulation time; a device that is still alive then
-    simply reports the writes it absorbed.
+    Stops early after ``max_writes`` writes (returning the partial result)
+    so callers can bound simulation time; ``max_ops`` additionally bounds
+    total ops of any kind (default ``10 * max_writes``), which keeps
+    read-heavy streams from running unbounded.
 
     ``scrub_interval`` runs one background scrub pass every that many host
     writes.  ``audit`` reads back every logical page at end of run,
@@ -126,18 +138,43 @@ def run_until_death(
     """
     if scrub_interval is not None and scrub_interval < 1:
         raise ConfigurationError("scrub_interval must be a positive write count")
+    if max_ops is None:
+        max_ops = 10 * max_writes
     writes = 0
+    trims = 0
+    ops = 0
     bits = ssd.logical_page_bits
     first_failure: int | None = None
     stats = ssd.ftl.stats
     with _span(
         "ssd.run_until_death", scheme=ssd.scheme_name, max_writes=max_writes
     ) as event:
-        while writes < max_writes:
-            lpn = next(workload)
-            data = workload.next_data(bits)
+        while writes < max_writes and ops < max_ops:
+            op = next(workload)
+            if isinstance(op, (int, np.integer)):  # legacy bare-LPN stream
+                op = Op(OpKind.WRITE, int(op))
+                data = workload.next_data(bits)
+            elif op.kind is OpKind.WRITE:
+                data = (
+                    payload_for(op, bits) if op.data_seed is not None
+                    else workload.next_data(bits)
+                )
+            ops += 1
+            if op.kind is OpKind.READ:
+                try:
+                    ssd.read(op.lpn)
+                except UncorrectableReadError:
+                    pass  # already counted by the FTL's loss accounting
+                continue
+            if op.kind is OpKind.TRIM:
+                try:
+                    ssd.trim(op.lpn)
+                except ReadOnlyModeError:
+                    break  # device latched end-of-life under our feet
+                trims += 1
+                continue
             try:
-                ssd.write(lpn, data)
+                ssd.write(op.lpn, data)
             except (OutOfSpaceError, ProgramFailedError, ReadOnlyModeError):
                 ssd.enter_read_only()
                 break
@@ -183,4 +220,5 @@ def run_until_death(
         host_reads=stats.host_reads,
         host_bits_read=stats.host_reads * bits,
         first_failure_write=first_failure,
+        host_trims=trims,
     )

@@ -1,93 +1,29 @@
-"""Trace-driven workloads.
+"""Compatibility shim: trace workloads now live in :mod:`repro.workload`.
 
-Real storage evaluations replay block traces.  We have no access to
-proprietary production traces, so this module provides (a) a loader for a
-minimal text trace format — one logical page number per line, ``#``
-comments allowed — and (b) a synthetic trace recorder so any generated
-workload can be captured, saved, and replayed deterministically.
+The trace layer moved to :mod:`repro.workload.trace` and grew an
+MSR-Cambridge-style CSV block-trace format alongside the legacy
+newline-LPN one.  This module re-exports the historical names; new code
+should import from :mod:`repro.workload`.
 """
 
-from __future__ import annotations
+from repro.workload.trace import (
+    TraceRecord,
+    TraceReplayWorkload,
+    TraceWorkload,
+    load_csv_trace,
+    load_trace,
+    record_trace,
+    save_trace,
+    workload_from_trace,
+)
 
-import io
-import itertools
-from pathlib import Path
-
-from repro.errors import ConfigurationError
-from repro.ssd.workload import Workload
-
-__all__ = ["TraceWorkload", "record_trace", "load_trace", "save_trace"]
-
-
-def load_trace(source: str | Path | io.TextIOBase) -> list[int]:
-    """Parse a trace: one LPN per line, blank lines and ``#`` comments skipped."""
-    if isinstance(source, (str, Path)):
-        text = Path(source).read_text()
-    else:
-        text = source.read()
-    lpns = []
-    for line_number, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        try:
-            lpn = int(line)
-        except ValueError:
-            raise ConfigurationError(
-                f"trace line {line_number}: {raw!r} is not a page number"
-            ) from None
-        if lpn < 0:
-            raise ConfigurationError(
-                f"trace line {line_number}: negative page number {lpn}"
-            )
-        lpns.append(lpn)
-    if not lpns:
-        raise ConfigurationError("trace contains no writes")
-    return lpns
-
-
-def save_trace(lpns: list[int], path: str | Path) -> None:
-    """Write a trace in the format :func:`load_trace` reads."""
-    Path(path).write_text("\n".join(str(lpn) for lpn in lpns) + "\n")
-
-
-def record_trace(workload: Workload, length: int) -> list[int]:
-    """Capture ``length`` LPNs from any workload generator."""
-    if length < 1:
-        raise ConfigurationError("trace length must be positive")
-    return list(itertools.islice(workload, length))
-
-
-class TraceWorkload(Workload):
-    """Replays a fixed LPN sequence, cycling when it runs out.
-
-    ``logical_pages`` bounds the address space; traces referencing pages
-    beyond it are rejected up front rather than failing mid-simulation.
-    Payload data stays pseudo-random (seeded), like every other workload.
-    """
-
-    def __init__(
-        self, logical_pages: int, lpns: list[int], seed: int = 0
-    ) -> None:
-        super().__init__(logical_pages, seed)
-        if not lpns:
-            raise ConfigurationError("empty trace")
-        out_of_range = [lpn for lpn in lpns if lpn >= logical_pages]
-        if out_of_range:
-            raise ConfigurationError(
-                f"trace references pages beyond the device "
-                f"(first: {out_of_range[0]}, device has {logical_pages})"
-            )
-        self.lpns = list(lpns)
-        self._cursor = 0
-
-    @classmethod
-    def from_file(
-        cls, logical_pages: int, path: str | Path, seed: int = 0
-    ) -> "TraceWorkload":
-        return cls(logical_pages, load_trace(path), seed=seed)
-
-    def next_lpn(self) -> int:
-        lpn = self.lpns[self._cursor]
-        self._cursor = (self._cursor + 1) % len(self.lpns)
-        return lpn
+__all__ = [
+    "TraceRecord",
+    "TraceReplayWorkload",
+    "TraceWorkload",
+    "load_csv_trace",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+    "workload_from_trace",
+]

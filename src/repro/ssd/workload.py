@@ -1,117 +1,24 @@
-"""Synthetic workload generators for device simulations.
+"""Compatibility shim: workloads now live in :mod:`repro.workload`.
 
-Each workload yields logical page numbers to write; the data itself is
-pseudo-random (the paper's methodology — coset scrambling makes results
-input-independent).  ``HotColdWorkload`` and ``ZipfWorkload`` model the
-skewed access patterns that make wear leveling matter (paper Section IX).
+The synthetic distributions moved to the unified workload layer (typed op
+streams shared by the simulator, the TCP load generator, and the sweep
+fabric).  This module re-exports the historical names so existing imports
+keep working; new code should import from :mod:`repro.workload`.
 """
 
-from __future__ import annotations
-
-import abc
-
-import numpy as np
-
-from repro.errors import ConfigurationError
+from repro.workload.base import SyntheticWorkload, Workload
+from repro.workload.synthetic import (
+    HotColdWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
 
 __all__ = [
     "Workload",
+    "SyntheticWorkload",
     "UniformWorkload",
     "HotColdWorkload",
     "ZipfWorkload",
     "SequentialWorkload",
 ]
-
-
-class Workload(abc.ABC):
-    """A stream of logical page numbers to write.
-
-    Workloads are (infinite) iterators: ``next(workload)`` yields the next
-    LPN, so the lifetime simulator and the serving layer's load generator
-    consume them through one protocol instead of hand-rolled
-    ``next_lpn()`` loops.  They never raise ``StopIteration`` — consumers
-    bound their own run length.
-    """
-
-    def __init__(self, logical_pages: int, seed: int = 0) -> None:
-        if logical_pages < 1:
-            raise ConfigurationError("workloads need at least one logical page")
-        self.logical_pages = logical_pages
-        self.rng = np.random.default_rng(seed)
-
-    @abc.abstractmethod
-    def next_lpn(self) -> int:
-        """The next logical page to write."""
-
-    def __iter__(self) -> "Workload":
-        return self
-
-    def __next__(self) -> int:
-        return self.next_lpn()
-
-    def next_data(self, bits: int) -> np.ndarray:
-        """Pseudo-random payload for the next write."""
-        return self.rng.integers(0, 2, bits, dtype=np.uint8)
-
-
-class UniformWorkload(Workload):
-    """Every logical page equally likely — the friendliest case for wear."""
-
-    def next_lpn(self) -> int:
-        return int(self.rng.integers(0, self.logical_pages))
-
-
-class SequentialWorkload(Workload):
-    """Round-robin over the address space (streaming writes)."""
-
-    def __init__(self, logical_pages: int, seed: int = 0) -> None:
-        super().__init__(logical_pages, seed)
-        self._cursor = 0
-
-    def next_lpn(self) -> int:
-        lpn = self._cursor
-        self._cursor = (self._cursor + 1) % self.logical_pages
-        return lpn
-
-
-class HotColdWorkload(Workload):
-    """A fraction of pages ("hot") receives most of the writes.
-
-    With default parameters 20% of the pages take 80% of the writes, the
-    classic skew that concentrates wear without leveling.
-    """
-
-    def __init__(
-        self,
-        logical_pages: int,
-        seed: int = 0,
-        hot_fraction: float = 0.2,
-        hot_probability: float = 0.8,
-    ) -> None:
-        super().__init__(logical_pages, seed)
-        if not 0 < hot_fraction < 1 or not 0 < hot_probability < 1:
-            raise ConfigurationError("fractions must lie strictly in (0, 1)")
-        self.hot_pages = max(1, int(round(logical_pages * hot_fraction)))
-        self.hot_probability = hot_probability
-
-    def next_lpn(self) -> int:
-        if self.rng.random() < self.hot_probability:
-            return int(self.rng.integers(0, self.hot_pages))
-        if self.hot_pages == self.logical_pages:
-            return int(self.rng.integers(0, self.logical_pages))
-        return int(self.rng.integers(self.hot_pages, self.logical_pages))
-
-
-class ZipfWorkload(Workload):
-    """Zipf-distributed page popularity (rank r gets weight r^-s)."""
-
-    def __init__(self, logical_pages: int, seed: int = 0, skew: float = 1.0) -> None:
-        super().__init__(logical_pages, seed)
-        if skew <= 0:
-            raise ConfigurationError("skew must be positive")
-        ranks = np.arange(1, logical_pages + 1, dtype=np.float64)
-        weights = ranks ** (-skew)
-        self._cdf = np.cumsum(weights / weights.sum())
-
-    def next_lpn(self) -> int:
-        return int(np.searchsorted(self._cdf, self.rng.random()))

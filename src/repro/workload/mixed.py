@@ -1,0 +1,79 @@
+"""Multi-tenant workload composition: weighted interleave of op streams.
+
+:class:`MixedWorkload` merges several child workloads — one per tenant —
+into a single op stream by drawing the next emitter from a weighted
+categorical distribution.  Each op keeps its child's ``tenant`` tag, so
+downstream consumers (the serving layer's per-tenant credit windows, the
+load generator's per-tenant percentiles) can account contention per
+tenant while the device sees one interleaved stream.
+
+Determinism: the interleave order is a pure function of ``seed`` (its RNG
+stream is salted away from every child's LPN stream), and each child's
+ops are a pure function of the child — so a mixed stream replays
+identically across the simulator, the TCP load generator, and sweep
+cells.  Because payload seeds are computed *by the child*, a tenant's
+payload bytes do not depend on how the interleave happened to schedule
+the other tenants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.base import Workload
+from repro.workload.ops import Op
+
+__all__ = ["MixedWorkload", "derive_child_seed"]
+
+#: Salt for the interleave-choice stream ("MX").
+_MIX_SALT = 0x4D58
+
+
+def derive_child_seed(seed: int, index: int) -> int:
+    """The per-child (per-tenant, per-phase) seed derivation.
+
+    One shared definition so every harness that builds tenant streams —
+    :class:`MixedWorkload` here, the load generator's per-tenant clients —
+    lands on identical child streams for the same parent seed.
+    """
+    return int(
+        np.random.SeedSequence([int(seed), int(index)]).generate_state(1)[0]
+    )
+
+
+class MixedWorkload(Workload):
+    """Weighted interleave of child workloads, tenant tags preserved."""
+
+    def __init__(
+        self,
+        logical_pages: int,
+        children: list[Workload],
+        weights: list[float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(logical_pages, seed=seed)
+        if not children:
+            raise ConfigurationError("need at least one tenant stream")
+        for child in children:
+            if child.logical_pages != logical_pages:
+                raise ConfigurationError(
+                    "tenant streams must share the parent's address space"
+                )
+        if weights is None:
+            weights = [1.0] * len(children)
+        if len(weights) != len(children):
+            raise ConfigurationError(
+                f"{len(children)} tenants but {len(weights)} weights"
+            )
+        if any(weight <= 0 for weight in weights):
+            raise ConfigurationError("tenant weights must be positive")
+        self.children = list(children)
+        self.weights = [float(weight) for weight in weights]
+        total = float(np.sum(self.weights))
+        self._cdf = np.cumsum(np.asarray(self.weights) / total)
+        self._pick = np.random.default_rng((self.seed, _MIX_SALT))
+
+    def next_op(self) -> Op:
+        index = int(np.searchsorted(self._cdf, self._pick.random()))
+        return self.children[min(index, len(self.children) - 1)].next_op()

@@ -1,0 +1,68 @@
+"""The typed op-stream protocol shared by every workload consumer.
+
+A workload is an (infinite) iterator of :class:`Op` records — one host
+operation each — instead of bare write LPNs.  The same stream drives the
+offline lifetime simulator (:func:`repro.ssd.simulator.run_until_death`),
+the TCP load generator (:mod:`repro.server.loadgen`) and sweep-fabric
+cells, which is what makes "run the same experiment in all three
+harnesses" a meaningful sentence: rewriting-code lifetime gains depend on
+the exact write *sequence* a device sees, so the sequence has to be owned
+by one layer.
+
+Payload determinism
+-------------------
+WRITE ops carry a ``data_seed`` — a small tuple of ints derived by the
+generator from ``(workload seed, lpn, per-LPN write version)``.  Any
+consumer turns it into the payload bits with :func:`payload_for`, so the
+simulator writing locally and the load generator writing over TCP produce
+**identical bytes** for the same op.  Including the per-LPN version keeps
+repeated writes to one page from degenerating into rewrites of the same
+dataword (which would flatter every rewriting scheme).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Op", "OpKind", "payload_for"]
+
+
+class OpKind(enum.Enum):
+    """Host operation kinds a workload can emit."""
+
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One host operation in a workload stream.
+
+    ``tenant`` tags the op with the logical client that issued it (0 for
+    single-tenant streams); :class:`~repro.workload.mixed.MixedWorkload`
+    interleaves several tenants into one stream and the serving layer
+    accounts per tenant.  ``data_seed`` is ``None`` for READ/TRIM.
+    """
+
+    kind: OpKind
+    lpn: int
+    tenant: int = 0
+    data_seed: tuple[int, ...] | None = None
+
+
+def payload_for(op: Op, bits: int) -> np.ndarray:
+    """The deterministic payload bits of a WRITE op.
+
+    Every consumer of a stream derives the same bytes for the same op —
+    the property that makes "same workload" mean the same thing offline
+    and over the wire.
+    """
+    if op.data_seed is None:
+        raise ValueError(f"{op.kind.value.upper()} ops carry no payload")
+    return np.random.default_rng(op.data_seed).integers(
+        0, 2, bits, dtype=np.uint8
+    )

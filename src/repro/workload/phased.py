@@ -1,0 +1,86 @@
+"""Time-varying workloads: a phase scheduler over child streams.
+
+:class:`PhasedWorkload` cycles through ``(length, child)`` phases — run
+``length`` ops of one child stream, then switch — which expresses the
+standard time-varying shapes directly:
+
+* **diurnal load**: alternate a heavy phase (zipf) with a light one
+  (uniform over a small region),
+* **burst/quiescent**: a long sequential phase punctuated by short
+  uniform bursts,
+* **hot/cold drift**: consecutive hot/cold phases with different seeds,
+  so the hot set moves between phases.
+
+Children are live workload instances that keep their own RNG state across
+revisits: when the cycle returns to a phase, its stream *continues*
+rather than restarting, like load returning to yesterday's pattern.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workload.base import Workload
+from repro.workload.ops import Op
+
+__all__ = ["PhasedWorkload", "parse_phase_spec"]
+
+
+class PhasedWorkload(Workload):
+    """Cycle through ``(length, workload)`` phases, one op at a time."""
+
+    def __init__(
+        self,
+        logical_pages: int,
+        phases: list[tuple[int, Workload]],
+        seed: int = 0,
+        tenant: int = 0,
+    ) -> None:
+        super().__init__(logical_pages, seed=seed, tenant=tenant)
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        for length, child in phases:
+            if length < 1:
+                raise ConfigurationError("phase lengths must be positive")
+            if child.logical_pages != logical_pages:
+                raise ConfigurationError(
+                    "phase children must share the parent's address space"
+                )
+        self.phases = list(phases)
+        self._phase = 0
+        self._left = self.phases[0][0]
+
+    def next_op(self) -> Op:
+        _, child = self.phases[self._phase]
+        op = child.next_op()
+        self._left -= 1
+        if self._left == 0:
+            self._phase = (self._phase + 1) % len(self.phases)
+            self._left = self.phases[self._phase][0]
+        return op
+
+
+def parse_phase_spec(text: str) -> tuple[tuple[str, int], ...]:
+    """Parse a CLI phase schedule: ``"uniform:200,hotcold:100"``.
+
+    Returns ``((name, length), ...)`` pairs; name validation happens when
+    the registry builds the children.
+    """
+    phases = []
+    for part in text.split(","):
+        name, sep, length = part.strip().partition(":")
+        if not sep or not name:
+            raise ConfigurationError(
+                f"phase {part!r} must look like NAME:LENGTH"
+            )
+        try:
+            ops = int(length)
+        except ValueError:
+            raise ConfigurationError(
+                f"phase {part!r}: {length!r} is not an op count"
+            ) from None
+        if ops < 1:
+            raise ConfigurationError(f"phase {part!r}: length must be >= 1")
+        phases.append((name, ops))
+    if not phases:
+        raise ConfigurationError("empty phase schedule")
+    return tuple(phases)

@@ -30,7 +30,7 @@ class TestMakeWorkload:
     def test_known_names(self) -> None:
         for name in WORKLOADS:
             workload = make_workload(name, 16, seed=1)
-            assert 0 <= next(workload) < 16
+            assert 0 <= next(workload).lpn < 16
 
     def test_unknown_name(self) -> None:
         with pytest.raises(ConfigurationError, match="unknown workload"):

@@ -57,7 +57,7 @@ def drive(ssd: SSD, writes: int, seed: int = 3) -> None:
     workload = UniformWorkload(ssd.logical_pages, seed=seed)
     bits = ssd.logical_page_bits
     for _ in range(writes):
-        ssd.write(next(workload), workload.next_data(bits))
+        ssd.write(next(workload).lpn, workload.next_data(bits))
 
 
 class TestBitIdenticalRestore:

@@ -12,6 +12,7 @@ from repro.ssd import (
     UniformWorkload,
     ZipfWorkload,
 )
+from repro.workload import OpKind
 
 
 class TestUniform:
@@ -79,11 +80,13 @@ class TestValidation:
 
 
 class TestIteration:
-    """Workloads are infinite iterators shared by simulator and loadgen."""
+    """Workloads are infinite op iterators shared by simulator and loadgen."""
 
-    def test_next_delegates_to_next_lpn(self) -> None:
+    def test_next_op_lpns_match_next_lpn(self) -> None:
         a, b = UniformWorkload(16, seed=7), UniformWorkload(16, seed=7)
-        assert [next(a) for _ in range(20)] == [b.next_lpn() for _ in range(20)]
+        assert [next(a).lpn for _ in range(20)] == [
+            b.next_lpn() for _ in range(20)
+        ]
 
     def test_iter_returns_self(self) -> None:
         wl = SequentialWorkload(4)
@@ -93,14 +96,16 @@ class TestIteration:
         import itertools
 
         wl = SequentialWorkload(3)
-        assert list(itertools.islice(wl, 7)) == [0, 1, 2, 0, 1, 2, 0]
-        assert next(wl) == 1  # the iterator keeps going; never StopIteration
+        ops = list(itertools.islice(wl, 7))
+        assert [op.lpn for op in ops] == [0, 1, 2, 0, 1, 2, 0]
+        assert all(op.kind is OpKind.WRITE for op in ops)
+        assert next(wl).lpn == 1  # keeps going; never StopIteration
 
     def test_for_loop_usable_with_external_bound(self) -> None:
         wl = ZipfWorkload(8, seed=4)
-        lpns = []
-        for lpn in wl:
-            lpns.append(lpn)
-            if len(lpns) == 50:
+        ops = []
+        for op in wl:
+            ops.append(op)
+            if len(ops) == 50:
                 break
-        assert len(lpns) == 50 and all(0 <= lpn < 8 for lpn in lpns)
+        assert len(ops) == 50 and all(0 <= op.lpn < 8 for op in ops)

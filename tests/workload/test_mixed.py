@@ -1,0 +1,115 @@
+"""Multi-tenant mixing: weighted interleave, tenant tags, determinism."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    MixedWorkload,
+    UniformWorkload,
+    derive_child_seed,
+    make_workload,
+    tenant_streams,
+)
+
+
+def _mixed(tenants: int, seed: int, weights=None) -> MixedWorkload:
+    children = tenant_streams("uniform", 64, seed=seed, tenants=tenants)
+    return MixedWorkload(64, children, weights=weights, seed=seed)
+
+
+class TestDeriveChildSeed:
+    def test_stable_across_calls(self) -> None:
+        assert derive_child_seed(7, 2) == derive_child_seed(7, 2)
+
+    def test_distinct_per_index(self) -> None:
+        seeds = {derive_child_seed(7, index) for index in range(16)}
+        assert len(seeds) == 16
+
+    def test_not_the_parent_seed(self) -> None:
+        assert derive_child_seed(7, 0) != 7
+
+
+class TestMixedWorkload:
+    def test_ops_carry_tenant_tags(self) -> None:
+        wl = _mixed(tenants=3, seed=1)
+        tenants = {op.tenant for op in itertools.islice(wl, 300)}
+        assert tenants == {0, 1, 2}
+
+    def test_each_tenant_sees_its_own_solo_stream(self) -> None:
+        """Interleaving must not perturb any tenant's op sequence: tenant
+        t's subsequence equals the stream a solo harness builds for t."""
+        wl = _mixed(tenants=2, seed=9)
+        ops = list(itertools.islice(wl, 400))
+        for tenant in range(2):
+            solo = UniformWorkload(
+                64, seed=derive_child_seed(9, tenant), tenant=tenant
+            )
+            subsequence = [op for op in ops if op.tenant == tenant]
+            expected = [next(solo) for _ in range(len(subsequence))]
+            assert subsequence == expected
+
+    def test_weight_validation(self) -> None:
+        children = tenant_streams("uniform", 64, tenants=2)
+        with pytest.raises(ConfigurationError, match="weights"):
+            MixedWorkload(64, children, weights=[1.0])
+        with pytest.raises(ConfigurationError, match="positive"):
+            MixedWorkload(64, children, weights=[1.0, 0.0])
+
+    def test_empty_children_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="at least one"):
+            MixedWorkload(64, [])
+
+    def test_address_space_mismatch_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="address space"):
+            MixedWorkload(64, [UniformWorkload(32)])
+
+    def test_registry_mixed_matches_direct_construction(self) -> None:
+        via_registry = make_workload(
+            "mixed", 64, seed=9, base="uniform", tenants=2
+        )
+        direct = _mixed(tenants=2, seed=9)
+        a = list(itertools.islice(via_registry, 100))
+        b = list(itertools.islice(direct, 100))
+        assert a == b
+
+
+class TestMixedProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        tenants=st.integers(min_value=1, max_value=5),
+    )
+    def test_deterministic_under_seed(self, seed: int, tenants: int) -> None:
+        a = _mixed(tenants=tenants, seed=seed)
+        b = _mixed(tenants=tenants, seed=seed)
+        assert list(itertools.islice(a, 60)) == list(itertools.islice(b, 60))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        heavy=st.floats(min_value=2.0, max_value=16.0),
+    )
+    def test_weights_respected(self, seed: int, heavy: float) -> None:
+        """A tenant with weight w gets ~w/(w+1) of the stream (law of
+        large numbers bound, loose enough to never flake)."""
+        wl = _mixed(tenants=2, seed=seed, weights=[heavy, 1.0])
+        total = 2000
+        share = sum(
+            1 for op in itertools.islice(wl, total) if op.tenant == 0
+        ) / total
+        expected = heavy / (heavy + 1.0)
+        assert abs(share - expected) < 0.08
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_all_ops_in_address_space(self, seed: int) -> None:
+        wl = _mixed(tenants=3, seed=seed)
+        assert all(
+            0 <= op.lpn < 64 for op in itertools.islice(wl, 200)
+        )

@@ -1,0 +1,80 @@
+"""Phase scheduling and the CLI phase-spec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    PhasedWorkload,
+    SequentialWorkload,
+    UniformWorkload,
+    make_workload,
+    parse_phase_spec,
+)
+
+
+class TestPhasedWorkload:
+    def test_switches_after_phase_length(self) -> None:
+        # Phase 1: sequential from 0; phase 2: sequential from 0 of its own.
+        a, b = SequentialWorkload(8), SequentialWorkload(8)
+        b._cursor = 4
+        wl = PhasedWorkload(8, [(3, a), (2, b)])
+        assert [next(wl).lpn for _ in range(5)] == [0, 1, 2, 4, 5]
+
+    def test_children_continue_across_revisits(self) -> None:
+        a, b = SequentialWorkload(8), SequentialWorkload(8)
+        b._cursor = 4
+        wl = PhasedWorkload(8, [(2, a), (2, b)])
+        # Cycle back to phase A: it resumes at 2, not back at 0.
+        assert [next(wl).lpn for _ in range(8)] == [0, 1, 4, 5, 2, 3, 6, 7]
+
+    def test_address_space_mismatch_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="address space"):
+            PhasedWorkload(8, [(2, SequentialWorkload(4))])
+
+    def test_zero_length_phase_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="positive"):
+            PhasedWorkload(8, [(0, SequentialWorkload(8))])
+
+    def test_empty_schedule_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="at least one"):
+            PhasedWorkload(8, [])
+
+    def test_registry_builds_from_schedule(self) -> None:
+        wl = make_workload(
+            "phased", 16, seed=5,
+            schedule=(("sequential", 3), ("uniform", 2)),
+        )
+        ops = [next(wl) for _ in range(10)]
+        assert [op.lpn for op in ops[:3]] == [0, 1, 2]
+        assert all(0 <= op.lpn < 16 for op in ops)
+
+    def test_phase_children_get_distinct_seeds(self) -> None:
+        wl = make_workload(
+            "phased", 64, seed=5,
+            schedule=(("uniform", 50), ("uniform", 50)),
+        )
+        assert isinstance(wl, PhasedWorkload)
+        first, second = (child for _, child in wl.phases)
+        assert isinstance(first, UniformWorkload)
+        assert first.seed != second.seed
+
+
+class TestParsePhaseSpec:
+    def test_round_trip(self) -> None:
+        assert parse_phase_spec("uniform:200, hotcold:100") == (
+            ("uniform", 200), ("hotcold", 100),
+        )
+
+    def test_missing_length(self) -> None:
+        with pytest.raises(ConfigurationError, match="NAME:LENGTH"):
+            parse_phase_spec("uniform")
+
+    def test_non_integer_length(self) -> None:
+        with pytest.raises(ConfigurationError, match="op count"):
+            parse_phase_spec("uniform:lots")
+
+    def test_non_positive_length(self) -> None:
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            parse_phase_spec("uniform:0")
