@@ -1,6 +1,6 @@
 # Convenience targets for the Methuselah Flash reproduction.
 
-.PHONY: install test ci bench bench-smoke bench-full experiments experiments-full examples clean
+.PHONY: install test ci bench bench-smoke bench-full kernel-equivalence experiments experiments-full examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,13 @@ bench:
 # BENCH_coding.json at the repo root.  CI runs this and uploads the JSON.
 bench-smoke:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_batch.py benchmarks/test_bench_viterbi.py benchmarks/test_bench_sweep.py benchmarks/test_bench_obs.py benchmarks/test_bench_server.py -q
+
+# Bit-identity of every ACS kernel backend against the reference kernel.
+# Runs once with the backend forced to numpy and once under the default
+# (auto) selection; with numba installed, auto covers the jitted path.
+kernel-equivalence:
+	REPRO_VITERBI_BACKEND=numpy PYTHONPATH=src python -m pytest tests/coding/test_viterbi_kernel.py -q
+	PYTHONPATH=src python -m pytest tests/coding/test_viterbi_kernel.py -q
 
 # Paper-fidelity benchmark run (4 KB pages, several minutes).
 bench-full:

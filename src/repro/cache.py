@@ -38,6 +38,7 @@ __all__ = [
     "cache_key",
     "code_fingerprint",
     "default_cache_dir",
+    "fingerprinted_key",
     "get_default_cache",
 ]
 
@@ -94,6 +95,25 @@ def cache_key(payload: dict[str, Any]) -> str:
     """Stable content address of a JSON-serializable payload."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def fingerprinted_key(
+    payload: dict[str, Any], fingerprint: str | None = None
+) -> str:
+    """:func:`cache_key` with :func:`code_fingerprint` folded in once.
+
+    Callers hashing many payloads in a loop can pass ``fingerprint``
+    explicitly (hoisting the lookup); either way the payload dict is not
+    mutated and ``"code"`` appears in the hashed payload exactly once.
+    """
+    if "code" in payload:
+        raise ValueError(
+            "payload already carries a 'code' entry; the fingerprint "
+            "must be folded in exactly once"
+        )
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    return cache_key({**payload, "code": fingerprint})
 
 
 @dataclass

@@ -1,0 +1,250 @@
+"""Pluggable ACS kernel backends for the Viterbi radix-4 fast path.
+
+The add-compare-select recursion inside
+:meth:`~repro.coding.viterbi.CosetViterbi._forward_radix4` is the single
+hottest loop in the repository — every page write runs it once per pair of
+trellis steps.  This module isolates that loop behind a tiny backend
+registry so alternate implementations (a numba-jitted kernel today, a C
+extension tomorrow) can be dropped in without touching the search logic,
+and — crucially — behind the reference-equivalence harness in
+``tests/coding/test_viterbi_kernel.py``, which pins every registered
+backend to byte-identical codewords, costs, and writability masks.
+
+Backend contract
+----------------
+A backend is one in-place function::
+
+    acs_radix4(path, folded, prev2_flat, sel, low01, low23, pair0)
+
+which must advance ``path`` (shape ``(B, S)``, float32 or float64) through
+``folded.shape[0]`` radix-4 iterations.  ``folded[i, b, kk * S + s]`` is
+the two-step branch cost of lane ``b`` reaching state ``s`` via choice
+pair ``kk``; ``prev2_flat[kk * S + s]`` is the matching two-step
+predecessor state.  For each iteration the backend writes three boolean
+backpointer planes at row ``pair0 + i``:
+
+* ``low01`` — within the ``kk < 2`` pair, choice 1 was *strictly* lower;
+* ``low23`` — within the ``kk >= 2`` pair, choice 3 was strictly lower;
+* ``sel``   — the ``kk >= 2`` pair won strictly.
+
+Strict-less comparisons are load-bearing: they reproduce ``argmin``'s
+first-occurrence tie-breaking, which the historical radix-2 recursion
+(and therefore every recorded result) depends on.  A backend that breaks
+ties differently is *wrong* even if its total costs agree.
+
+Selection
+---------
+:func:`resolve_backend` picks a backend by explicit name, the
+``REPRO_VITERBI_BACKEND`` environment variable, or ``"auto"`` (numba when
+importable, else numpy).  The numpy backend is always registered and is
+the exact loop the radix-4 kernel shipped with, so systems without any
+accelerator are bit-for-bit unchanged.  Resolution is memoized per name —
+the numba import (slow) and jit compilation happen at most once per
+process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "backend_names",
+    "numba_available",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable naming the backend ("numpy", "numba", "auto").
+BACKEND_ENV = "REPRO_VITERBI_BACKEND"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One registered ACS implementation."""
+
+    name: str
+    acs_radix4: Callable
+    description: str = ""
+
+
+def _acs_radix4_numpy(path, folded, prev2_flat, sel, low01, low23, pair0):
+    """The shipped radix-4 loop: elementwise ufuncs with ``out=`` targets.
+
+    ``argmin`` is an order of magnitude slower on these shapes at every
+    axis layout, so the four-way compare-select is spelled as two pairwise
+    minima plus a final one, with the comparisons writing the backpointer
+    planes directly.
+    """
+    pairs, lanes, four_s = folded.shape
+    num_states = four_s // 4
+    inc4 = np.empty((lanes, 4, num_states), dtype=path.dtype)
+    inc4_flat = inc4.reshape(lanes, four_s)
+    cand0, cand1, cand2, cand3 = (inc4[:, kk, :] for kk in range(4))
+    min01 = np.empty((lanes, num_states), dtype=path.dtype)
+    min23 = np.empty((lanes, num_states), dtype=path.dtype)
+    take_path = path.take
+    for i in range(pairs):
+        take_path(prev2_flat, axis=1, out=inc4_flat)
+        inc4_flat += folded[i]
+        row = pair0 + i
+        np.less(cand1, cand0, out=low01[row])
+        np.less(cand3, cand2, out=low23[row])
+        np.minimum(cand0, cand1, out=min01)
+        np.minimum(cand2, cand3, out=min23)
+        np.less(min23, min01, out=sel[row])
+        np.minimum(min01, min23, out=path)
+
+
+def _make_numpy_backend() -> KernelBackend:
+    return KernelBackend(
+        name="numpy",
+        acs_radix4=_acs_radix4_numpy,
+        description="vectorized ufunc loop (always available; the reference)",
+    )
+
+
+def _make_numba_backend() -> KernelBackend:
+    """Jit the scalar form of the same recursion (raises ImportError
+    when numba is not installed)."""
+    import numba
+
+    @numba.njit(cache=False)
+    def _acs_radix4_numba(path, folded, prev2_flat, sel, low01, low23, pair0):
+        pairs = folded.shape[0]
+        lanes = folded.shape[1]
+        num_states = folded.shape[2] // 4
+        old = np.empty_like(path[0])
+        for i in range(pairs):
+            row = pair0 + i
+            for b in range(lanes):
+                old[:] = path[b]
+                for s in range(num_states):
+                    c0 = old[prev2_flat[s]] + folded[i, b, s]
+                    c1 = (
+                        old[prev2_flat[num_states + s]]
+                        + folded[i, b, num_states + s]
+                    )
+                    c2 = (
+                        old[prev2_flat[2 * num_states + s]]
+                        + folded[i, b, 2 * num_states + s]
+                    )
+                    c3 = (
+                        old[prev2_flat[3 * num_states + s]]
+                        + folded[i, b, 3 * num_states + s]
+                    )
+                    # Strict-less selects mirror the numpy backend exactly:
+                    # ties keep the lower kk, matching argmin's
+                    # first-occurrence rule.
+                    l01 = c1 < c0
+                    m01 = c1 if l01 else c0
+                    l23 = c3 < c2
+                    m23 = c3 if l23 else c2
+                    chose23 = m23 < m01
+                    low01[row, b, s] = l01
+                    low23[row, b, s] = l23
+                    sel[row, b, s] = chose23
+                    path[b, s] = m23 if chose23 else m01
+
+    return KernelBackend(
+        name="numba",
+        acs_radix4=_acs_radix4_numba,
+        description="numba-jitted scalar recursion (requires numba)",
+    )
+
+
+#: Factories run lazily so registering a backend never imports it.
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+#: Memoized resolutions, including the "auto" alias.
+_RESOLVED: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory runs at first resolution; raising ``ImportError`` marks
+    the backend unavailable (``"auto"`` skips it, naming it explicitly is
+    a :class:`~repro.errors.ConfigurationError`).
+    """
+    _FACTORIES[name] = factory
+    _RESOLVED.pop(name, None)
+    _RESOLVED.pop("auto", None)
+
+
+register_backend("numpy", _make_numpy_backend)
+register_backend("numba", _make_numba_backend)
+
+
+def backend_names() -> list[str]:
+    """Every registered backend name (available or not)."""
+    return sorted(_FACTORIES)
+
+
+def numba_available() -> bool:
+    """Can the numba backend actually be built in this environment?"""
+    try:
+        _resolve_one("numba")
+    except (ImportError, ConfigurationError):
+        return False
+    return True
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose factories succeed here."""
+    names = []
+    for name in backend_names():
+        try:
+            _resolve_one(name)
+        except (ImportError, ConfigurationError):
+            continue
+        names.append(name)
+    return names
+
+
+def _resolve_one(name: str) -> KernelBackend:
+    backend = _RESOLVED.get(name)
+    if backend is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown Viterbi kernel backend {name!r}; registered: "
+                f"{backend_names()} (or 'auto')"
+            )
+        backend = factory()
+        _RESOLVED[name] = backend
+    return backend
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Pick the ACS backend for a new :class:`CosetViterbi`.
+
+    Precedence: explicit ``name`` argument, then ``REPRO_VITERBI_BACKEND``,
+    then ``"auto"``.  ``"auto"`` prefers numba when importable and falls
+    back to numpy silently; asking for an unavailable backend by name
+    raises so a mistyped/missing accelerator never degrades quietly.
+    """
+    requested = (name or os.environ.get(BACKEND_ENV) or "auto").lower()
+    cached = _RESOLVED.get(requested)
+    if cached is not None:
+        return cached
+    if requested == "auto":
+        try:
+            backend = _resolve_one("numba")
+        except (ImportError, ConfigurationError):
+            backend = _resolve_one("numpy")
+        _RESOLVED["auto"] = backend
+        return backend
+    try:
+        return _resolve_one(requested)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"Viterbi kernel backend {requested!r} is registered but not "
+            f"available here ({exc}); install it or use 'numpy'/'auto'"
+        ) from exc

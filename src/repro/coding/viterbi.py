@@ -36,6 +36,13 @@ minimizes work per step three ways:
 Non-integral metrics fall back to a float64 radix-2 loop that reproduces
 the historical arithmetic operation for operation, so results are
 bit-identical for every metric either way.
+
+The radix-4 pair loop itself is pluggable: :mod:`repro.coding.kernels`
+keeps a registry of ACS backends (the vectorized numpy loop as the
+always-available default, a numba-jitted kernel when numba is
+importable), selected per ``CosetViterbi`` via the ``backend`` argument
+or the ``REPRO_VITERBI_BACKEND`` environment variable.  Every backend is
+pinned bit-identical by ``tests/coding/test_viterbi_kernel.py``.
 """
 
 from __future__ import annotations
@@ -46,11 +53,28 @@ import numpy as np
 
 from repro.coding.convolutional import Trellis
 from repro.coding.cost import CellCodebook
+from repro.coding.kernels import (
+    KernelBackend,
+    available_backends,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
 from repro.errors import ConfigurationError, UnwritableError
 from repro.obs import registry as _metrics
 from repro.obs.tracing import span as _span
 
-__all__ = ["CosetViterbi", "ViterbiResult", "ViterbiBatchResult"]
+__all__ = [
+    "CosetViterbi",
+    "ViterbiResult",
+    "ViterbiBatchResult",
+    # Re-exported kernel-backend registry (see repro.coding.kernels).
+    "KernelBackend",
+    "available_backends",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
+]
 
 #: Telemetry handles (live forever; self-gated on the registry's enabled
 #: flag).  The ACS and backtrace phases additionally get spans per search —
@@ -126,9 +150,21 @@ class ViterbiBatchResult:
 
 
 class CosetViterbi:
-    """Reusable searcher for one (trellis, codebook) pair."""
+    """Reusable searcher for one (trellis, codebook) pair.
 
-    def __init__(self, trellis: Trellis, codebook: CellCodebook) -> None:
+    ``backend`` names the ACS kernel implementation for the radix-4 fast
+    path (default: the ``REPRO_VITERBI_BACKEND`` environment variable,
+    falling back to ``"auto"`` — numba when importable, else numpy).
+    Backend choice never changes results, only wall clock.
+    """
+
+    def __init__(
+        self,
+        trellis: Trellis,
+        codebook: CellCodebook,
+        backend: str | None = None,
+    ) -> None:
+        self.backend = resolve_backend(backend)
         m = trellis.outputs_per_step
         if m % codebook.bits_per_cell != 0:
             raise ConfigurationError(
@@ -335,7 +371,13 @@ class CosetViterbi:
                 if steps * self._max_step_cost <= float(2**24 - 1)
                 else np.float64
             )
-            with _span("viterbi.acs", lanes=lanes, steps=steps, radix=4):
+            with _span(
+                "viterbi.acs",
+                lanes=lanes,
+                steps=steps,
+                radix=4,
+                backend=self.backend.name,
+            ):
                 path, backptr2, backptr_tail = self._forward_radix4(
                     reps, levels, dtype
                 )
@@ -401,17 +443,16 @@ class CosetViterbi:
     def _forward_radix4(self, reps, levels, dtype):
         """ACS over two trellis steps per iteration; exact for integer costs.
 
-        The four-way compare-select is pure elementwise ufuncs with ``out=``
-        targets (``argmin`` is an order of magnitude slower on these shapes
-        at every axis layout), and the backpointers are three boolean planes
-        per pair written directly by the comparisons:
+        The backpointers are three boolean planes per pair:
 
         * ``sel[p]``  — the winning choice came from the ``kk >= 2`` pair,
         * ``low01[p]`` / ``low23[p]`` — the winner within each pair,
 
-        so ``kk = 2 + low23 if sel else low01``.  Strict-less comparisons
-        reproduce ``argmin``'s first-occurrence tie-breaking, which in turn
-        matches the sequential radix-2 recursion exactly.
+        so ``kk = 2 + low23 if sel else low01``.  The pair recursion itself
+        runs through the pluggable ACS backend (``self.backend``, see
+        :mod:`repro.coding.kernels`); every backend writes the planes with
+        strict-less comparisons, reproducing ``argmin``'s first-occurrence
+        tie-breaking and therefore the sequential radix-2 recursion exactly.
         """
         lanes, steps = reps.shape
         num_states = self.trellis.num_states
@@ -423,16 +464,7 @@ class CosetViterbi:
         backptr_tail = (
             np.empty((lanes, num_states), dtype=bool) if steps % 2 else None
         )
-        inc4 = np.empty((lanes, 4, num_states), dtype=dtype)
-        inc4_flat = inc4.reshape(lanes, 4 * num_states)
-        cand0, cand1, cand2, cand3 = (inc4[:, kk, :] for kk in range(4))
-        min01 = np.empty((lanes, num_states), dtype=dtype)
-        min23 = np.empty((lanes, num_states), dtype=dtype)
-        # The lone tail step of an odd-length trellis reuses the front half
-        # of the radix-4 buffer as its (B, 2, S) workspace.
-        inc2 = inc4[:, :2, :]
-        inc2_flat = inc4_flat[:, : 2 * num_states]
-        take_path = path.take
+        acs_radix4 = self.backend.acs_radix4
         prev2_flat = self._prev2_flat
         row_bytes = 2 * num_states * lanes * 8
         chunk = max(2, _CHUNK_BYTES // max(row_bytes, 1))
@@ -481,19 +513,13 @@ class CosetViterbi:
                 early += early_off
                 folded = costs_flat.take(late)
                 folded += costs_flat.take(early)
-                for i in range(chunk_pairs):
-                    take_path(prev2_flat, axis=1, out=inc4_flat)
-                    inc4_flat += folded[i]
-                    np.less(cand1, cand0, out=low01[pair])
-                    np.less(cand3, cand2, out=low23[pair])
-                    np.minimum(cand0, cand1, out=min01)
-                    np.minimum(cand2, cand3, out=min23)
-                    np.less(min23, min01, out=sel[pair])
-                    np.minimum(min01, min23, out=path)
-                    pair += 1
+                acs_radix4(path, folded, prev2_flat, sel, low01, low23, pair)
+                pair += chunk_pairs
             if span % 2:  # only the final chunk of an odd-length trellis
+                inc2 = np.empty((lanes, 2, num_states), dtype=dtype)
+                inc2_flat = inc2.reshape(lanes, 2 * num_states)
                 tail_idx = self._xg_flat[reps[:, t1 - 1]] + tail_off[:, None]
-                take_path(self._prev_flat, axis=1, out=inc2_flat)
+                path.take(self._prev_flat, axis=1, out=inc2_flat)
                 inc2_flat += costs_flat.take(tail_idx)
                 np.less(inc2[:, 1], inc2[:, 0], out=backptr_tail)
                 np.minimum(inc2[:, 0], inc2[:, 1], out=path)

@@ -11,7 +11,9 @@ page and fewer erase cycles; both are overridable:
 * ``REPRO_JOBS`` — worker processes for sweep fan-out (1 = in-process),
 * ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache,
 * ``REPRO_METRICS`` — set to ``1`` to collect telemetry (metrics + traces)
-  even without ``--metrics-out``/``--trace-out``.
+  even without ``--metrics-out``/``--trace-out``,
+* ``REPRO_VITERBI_BACKEND`` — ACS kernel backend for the MFC coset codes
+  (``auto``/``numpy``/``numba``; see :mod:`repro.coding.kernels`).
 
 ``lanes=1`` (the default) reproduces the historical scalar numbers bit for
 bit; larger lane counts run ``lanes`` independently seeded pages through
@@ -43,6 +45,7 @@ class ExperimentConfig:
     jobs: int = 1  # worker processes for sweep fan-out; 1 = in-process
     cache: bool = True  # consult/populate the on-disk result cache
     metrics: bool = False  # collect telemetry (registry counters + traces)
+    viterbi_backend: str = "auto"  # ACS kernel backend (auto/numpy/numba)
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
@@ -57,6 +60,9 @@ class ExperimentConfig:
             cache=os.environ.get("REPRO_CACHE", "1") != "0",
             metrics=os.environ.get("REPRO_METRICS", "0").lower()
             in ("1", "true", "yes", "on"),
+            viterbi_backend=os.environ.get(
+                "REPRO_VITERBI_BACKEND", "auto"
+            ).lower(),
         )
 
     @property

@@ -13,6 +13,8 @@ gain at far less than proportional wall-clock cost.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core import (
     BatchLifetimeSimulator,
     LifetimeResult,
@@ -20,8 +22,52 @@ from repro.core import (
     RewritingScheme,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.core.factory import make_scheme
+from repro.obs.tracing import span as _span
 
-__all__ = ["simulate", "simulate_lanes"]
+__all__ = [
+    "clear_scheme_memo",
+    "scheme_for",
+    "simulate",
+    "simulate_lanes",
+]
+
+#: Constructed schemes (and their Viterbi trellis/cost/gather tables) keyed
+#: by ``(name, page_bits, kwargs)``.  Schemes are stateless after
+#: construction — lane state is passed in and out of ``scheme.write`` — so
+#: sharing one instance across cells is determinism-safe.  The warm sweep
+#: workers lean on this: repeated cells for the same configuration skip
+#: table construction entirely.
+_SCHEME_MEMO: OrderedDict[tuple, RewritingScheme] = OrderedDict()
+_SCHEME_MEMO_CAP = 64
+
+
+def scheme_for(
+    name: str, page_bits: int, kwargs: tuple = ()
+) -> RewritingScheme:
+    """A memoized scheme instance for ``(name, page_bits, kwargs)``.
+
+    ``kwargs`` is the sorted ``tuple(sorted(d.items()))`` form a
+    :class:`~repro.experiments.pool.SweepCell` carries.  Construction is
+    wrapped in a ``sweep.scheme_build`` span so tests (and traces) can
+    count how often tables are actually built versus reused.
+    """
+    key = (name, page_bits, kwargs)
+    scheme = _SCHEME_MEMO.get(key)
+    if scheme is not None:
+        _SCHEME_MEMO.move_to_end(key)
+        return scheme
+    with _span("sweep.scheme_build", scheme=name, page_bits=page_bits):
+        scheme = make_scheme(name, page_bits, **dict(kwargs))
+    _SCHEME_MEMO[key] = scheme
+    while len(_SCHEME_MEMO) > _SCHEME_MEMO_CAP:
+        _SCHEME_MEMO.popitem(last=False)
+    return scheme
+
+
+def clear_scheme_memo() -> None:
+    """Drop all memoized schemes (tests; also worker initialization)."""
+    _SCHEME_MEMO.clear()
 
 
 def simulate_lanes(

@@ -5,14 +5,30 @@ into independent *cells* — one ``(scheme name, page_bits, kwargs, cycles,
 seed, lanes)`` tuple per simulated scheme instance.  A cell carries
 everything needed to rebuild its scheme via
 :func:`~repro.core.factory.make_scheme` in another process, so the fabric
-can fan cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-(``--jobs N`` / ``REPRO_JOBS``) while the driver stays a plain list
-comprehension.
+can fan cells out over worker processes (``--jobs N`` / ``REPRO_JOBS``)
+while the driver stays a plain list comprehension.
+
+The parallel fabric is a **process-lifetime warm pool**: workers are
+spawned once, lazily, at the first parallel :func:`run_cells` call, and
+stay resident across calls (recreated only when ``jobs`` changes;
+:func:`shutdown` — also registered ``atexit`` — tears them down).  Each
+worker pre-imports ``repro`` and leans on the engine's scheme memo
+(:func:`repro.experiments.engine.scheme_for`), so repeated cells for the
+same ``(scheme, page_bits, kwargs)`` skip trellis/cost/gather-table
+construction entirely.  Dispatch is **chunked**: pending cells are
+grouped into at most ``4 * jobs`` contiguous chunks so each IPC
+round-trip amortizes pickle and telemetry-snapshot cost over many cells,
+and chunk results whose array payload is large return through
+``multiprocessing.shared_memory`` instead of the result pipe
+(``REPRO_SHM_MIN_BYTES`` sets the cut-over, default 1 MiB).
 
 Determinism is structural: each cell's seed is bound at decomposition
-time (not derived from completion order), and :func:`run_cells` returns
-results in submission order regardless of which worker finishes first —
-``--jobs 4`` output is byte-identical to ``--jobs 1``.
+time (not derived from completion order), chunks are contiguous slices of
+the submission order, and :func:`run_cells` scatters chunk results back
+by index — ``--jobs 4`` output is byte-identical to ``--jobs 1``.
+Telemetry snapshots are taken per chunk and merged in the parent; merging
+is commutative, so ``--jobs N`` counter totals exactly equal a serial
+run's no matter which worker finishes first.
 
 Cells are also the unit of caching: :func:`cell_key` hashes the cell
 together with the :func:`~repro.cache.code_fingerprint`, so warm reruns
@@ -21,28 +37,62 @@ skip simulation entirely (see :mod:`repro.cache`).
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 
-from repro.cache import ResultCache, cache_key, code_fingerprint, get_default_cache
-from repro.core import make_scheme
+from repro.cache import (
+    ResultCache,
+    code_fingerprint,
+    fingerprinted_key,
+    get_default_cache,
+)
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import simulate_lanes
+from repro.experiments.engine import scheme_for, simulate_lanes
 from repro.obs import registry as _metrics
 from repro.obs.registry import RegistrySnapshot
 from repro.obs.tracing import span as _span
 
 __all__ = [
     "SweepCell",
+    "SweepCellError",
     "cell_cacheable",
     "cell_for",
     "cell_key",
     "run_cell",
     "run_cells",
+    "shutdown",
 ]
 
 _CELLS_RUN = _metrics.counter("sweep.cells_run")
 _CELLS_CACHED = _metrics.counter("sweep.cells_cached")
+
+#: Environment knob: minimum out-of-band array bytes in one chunk's
+#: results before the worker routes them through shared memory.
+SHM_MIN_BYTES_ENV = "REPRO_SHM_MIN_BYTES"
+_SHM_MIN_BYTES_DEFAULT = 1 << 20
+#: Shared-memory segment names are ``repro-pool-<pid>-<seq>`` so a leak
+#: check (and a human inspecting ``/dev/shm``) can attribute them.
+_SHM_PREFIX = "repro-pool-"
+_shm_seq = itertools.count()
+
+#: Chunks per worker: enough slack that a straggler chunk doesn't idle
+#: the other workers, small enough that per-chunk overhead stays amortized.
+_CHUNKS_PER_WORKER = 4
+
+
+class SweepCellError(RuntimeError):
+    """A cell raised inside a sweep worker.
+
+    The message names the failing cell (scheme, page_bits, seed, ...) and
+    the original error; the original traceback is chained via the pool's
+    remote-traceback machinery.
+    """
 
 
 @dataclass(frozen=True)
@@ -80,12 +130,14 @@ def cell_for(
     )
 
 
-def cell_key(cell) -> str:
+def cell_key(cell, fingerprint: str | None = None) -> str:
     """Content address of a cell's result (includes the code fingerprint).
 
     :class:`SweepCell` keeps its historical key layout; any other cell
     type provides a ``key_payload()`` dict (the generic cell protocol —
-    see :class:`repro.server.bench.ServerBenchCell`).
+    see :class:`repro.server.bench.ServerBenchCell`).  Callers keying many
+    cells pass ``fingerprint`` explicitly so the package hash is computed
+    once per sweep, not once per cell.
     """
     if isinstance(cell, SweepCell):
         payload: dict = {
@@ -99,8 +151,7 @@ def cell_key(cell) -> str:
         }
     else:
         payload = dict(cell.key_payload())
-    payload["code"] = code_fingerprint()
-    return cache_key(payload)
+    return fingerprinted_key(payload, fingerprint)
 
 
 def cell_cacheable(cell) -> bool:
@@ -117,16 +168,16 @@ def run_cell(cell) -> object:
     """Run one cell (module-level so it pickles to pool workers).
 
     ``SweepCell`` runs a lifetime simulation; any other cell type runs its
-    own ``run()`` method (the generic cell protocol).
+    own ``run()`` method (the generic cell protocol).  Scheme instances
+    come from the engine memo, so a warm process (serial caller or pool
+    worker alike) skips table construction for repeated configurations.
     """
     if not isinstance(cell, SweepCell):
         with _span("sweep.cell", kind=type(cell).__name__):
             result = cell.run()
         _CELLS_RUN.inc()
         return result
-    scheme = make_scheme(
-        cell.scheme, page_bits=cell.page_bits, **dict(cell.kwargs)
-    )
+    scheme = scheme_for(cell.scheme, cell.page_bits, cell.kwargs)
     with _span(
         "sweep.cell",
         scheme=cell.scheme,
@@ -142,25 +193,257 @@ def run_cell(cell) -> object:
     return result
 
 
-def _run_cell_observed(
-    cell, telemetry: bool
-) -> tuple[object, RegistrySnapshot | None]:
-    """Worker-side wrapper: run one cell and capture its telemetry.
+def _describe_cell(cell) -> str:
+    if isinstance(cell, SweepCell):
+        return (
+            f"scheme={cell.scheme!r} page_bits={cell.page_bits} "
+            f"cycles={cell.cycles} seed={cell.seed} lanes={cell.lanes}"
+        )
+    return f"{type(cell).__name__} cell"
 
-    Workers inherit a fresh (or reused) process whose registry state is
-    unrelated to the parent's, so the protocol is explicit: force the
-    enabled flag to the parent's choice, zero the registry, run, snapshot.
-    The parent merges every returned snapshot, which makes ``--jobs N``
-    totals exactly equal a ``jobs=1`` run (merging is commutative, so
-    completion order does not matter).
+
+def _run_one(cell) -> object:
+    """Run one cell, naming it in any failure (workers re-raise this)."""
+    try:
+        return run_cell(cell)
+    except Exception as exc:
+        raise SweepCellError(
+            f"sweep cell failed ({_describe_cell(cell)}): "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Worker side: chunk execution and shared-memory result transport.
+# ---------------------------------------------------------------------------
+
+
+def _worker_init() -> None:
+    """Per-worker setup, run once per worker process lifetime.
+
+    Pre-imports the package (fork already maps it; spawn would not), and
+    pins the inherited registry to a known-empty, disabled state so a
+    long-lived worker never accumulates events between chunks — each
+    chunk re-enables, runs, snapshots, and disables again.  The scheme
+    memo is *not* cleared: inheriting the parent's warm tables is free
+    under fork and exactly what the warm pool wants.
     """
-    if not telemetry:
-        return run_cell(cell), None
+    import repro.experiments  # noqa: F401  (pre-import the heavy modules)
+
     registry = _metrics.get_registry()
-    registry.enabled = True
+    registry.enabled = False
     registry.reset()
-    result = run_cell(cell)
-    return result, registry.snapshot()
+
+
+def _shm_min_bytes() -> int:
+    raw = os.environ.get(SHM_MIN_BYTES_ENV)
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return _SHM_MIN_BYTES_DEFAULT
+
+
+def _encode_chunk(payload: tuple, min_bytes: int) -> tuple:
+    """Serialize a chunk's ``(results, snapshot)`` for the trip home.
+
+    Small payloads go in-band through the pool's result pipe.  When the
+    pickle-5 out-of-band buffers (numpy array bodies, mostly) total at
+    least ``min_bytes``, they are copied once into a shared-memory
+    segment instead, and only the segment's name plus the (tiny) pickle
+    stream crosses the pipe.  The worker unregisters the segment from the
+    resource tracker — the parent owns its lifetime and unlinks it after
+    copying the buffers out in :func:`_decode_chunk`.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+    try:
+        raw = [buffer.raw() for buffer in buffers]
+    except BufferError:  # non-contiguous buffer: ship it in-band
+        raw = None
+    if raw is None or sum(view.nbytes for view in raw) < min_bytes:
+        return ("inline", pickle.dumps(payload, protocol=5))
+    total = sum(view.nbytes for view in raw)
+    name = f"{_SHM_PREFIX}{os.getpid()}-{next(_shm_seq)}"
+    segment = shared_memory.SharedMemory(create=True, size=total, name=name)
+    try:
+        spans = []
+        offset = 0
+        for view in raw:
+            nbytes = view.nbytes
+            segment.buf[offset : offset + nbytes] = view
+            spans.append((offset, nbytes))
+            offset += nbytes
+    finally:
+        segment.close()
+        # The parent decides when the segment dies; without this the
+        # (shared, forked) resource tracker would unlink it when this
+        # worker registered it, racing the parent's read.
+        resource_tracker.unregister(segment._name, "shared_memory")
+    return ("shm", segment.name, spans, data)
+
+
+def _decode_chunk(payload: tuple):
+    """Parent-side inverse of :func:`_encode_chunk`.
+
+    Shared-memory buffers are copied out (into writable ``bytearray``s
+    the reconstructed arrays keep referencing) and the segment is closed
+    and unlinked immediately — no ``/dev/shm`` entry outlives the call.
+    """
+    if payload[0] == "inline":
+        return pickle.loads(payload[1])
+    _, name, spans, data = payload
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        buffers = [
+            bytearray(segment.buf[offset : offset + nbytes])
+            for offset, nbytes in spans
+        ]
+        return pickle.loads(data, buffers=buffers)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _release_chunk(payload: tuple) -> None:
+    """Free a completed-but-unread chunk's segment (error paths only)."""
+    if payload and payload[0] == "shm":
+        try:
+            segment = shared_memory.SharedMemory(name=payload[1])
+        except FileNotFoundError:
+            return
+        segment.close()
+        segment.unlink()
+
+
+def _run_chunk(
+    cells: list, telemetry: bool, min_bytes: int
+) -> tuple:
+    """Worker entry point: run one chunk of cells, snapshot once.
+
+    Workers are long-lived, so the telemetry protocol is explicit: force
+    the registry to the parent's choice, zero it, run the whole chunk,
+    snapshot once, then disable and zero again so nothing leaks into the
+    next chunk.  One snapshot per *chunk* (not per cell) is what makes
+    chunked dispatch cheap; merging per-chunk snapshots in the parent
+    yields the same totals as per-cell ones because merge is commutative
+    and associative.
+    """
+    registry = _metrics.get_registry()
+    snapshot: RegistrySnapshot | None = None
+    if telemetry:
+        registry.enabled = True
+        registry.reset()
+    try:
+        results = [_run_one(cell) for cell in cells]
+        if telemetry:
+            snapshot = registry.snapshot()
+    finally:
+        if telemetry:
+            registry.enabled = False
+            registry.reset()
+    return _encode_chunk((results, snapshot), min_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the warm pool and chunked dispatch.
+# ---------------------------------------------------------------------------
+
+_pool: ProcessPoolExecutor | None = None
+_pool_jobs = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process-lifetime pool, (re)built lazily for ``jobs`` workers."""
+    global _pool, _pool_jobs
+    if _pool is not None and _pool_jobs != jobs:
+        shutdown()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init
+        )
+        _pool_jobs = jobs
+    return _pool
+
+
+def shutdown() -> None:
+    """Tear down the warm worker pool (idempotent; registered atexit).
+
+    Tests call this between cases so pools never leak across test
+    boundaries; the CLI calls it before exiting so worker processes never
+    outlive the run.  The next parallel :func:`run_cells` simply builds a
+    fresh pool.
+    """
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_jobs = 0
+
+
+atexit.register(shutdown)
+
+
+def _chunk_sizes(count: int, jobs: int) -> list[int]:
+    """Split ``count`` cells into at most ``4 * jobs`` contiguous chunks.
+
+    Sizes differ by at most one and sum to ``count``; more chunks than
+    cells never happens (a chunk is never empty).
+    """
+    target = max(1, min(count, _CHUNKS_PER_WORKER * jobs))
+    base, extra = divmod(count, target)
+    return [base + 1 if i < extra else base for i in range(target)]
+
+
+def _run_parallel(
+    cells: list, pending: list[int], results: list, jobs: int, registry
+) -> None:
+    """Fan pending cells out over the warm pool, chunked, in order."""
+    telemetry = registry.enabled
+    min_bytes = _shm_min_bytes()
+    chunks: list[list[int]] = []
+    start = 0
+    for size in _chunk_sizes(len(pending), jobs):
+        chunks.append(pending[start : start + size])
+        start += size
+    pool = _get_pool(jobs)
+    futures = {}
+    with _span(
+        "sweep.dispatch", jobs=jobs, cells=len(pending), chunks=len(chunks)
+    ):
+        try:
+            for chunk in chunks:
+                future = pool.submit(
+                    _run_chunk,
+                    [cells[index] for index in chunk],
+                    telemetry,
+                    min_bytes,
+                )
+                futures[future] = chunk
+            for future in as_completed(futures):
+                chunk_results, snapshot = _decode_chunk(future.result())
+                for index, result in zip(futures[future], chunk_results):
+                    results[index] = result
+                if snapshot is not None:
+                    registry.merge(snapshot)
+        except BaseException as exc:
+            # Don't strand the rest of the sweep: cancel what hasn't
+            # started, wait out what has, and release the shared-memory
+            # segments of chunks that completed but were never read.
+            for future in futures:
+                future.cancel()
+            for future in futures:
+                if future.cancelled():
+                    continue
+                try:
+                    payload = future.result()
+                except BaseException:
+                    continue
+                _release_chunk(payload)
+            if isinstance(exc, BrokenProcessPool):
+                shutdown()
+            raise
 
 
 def run_cells(
@@ -170,7 +453,7 @@ def run_cells(
     jobs: int | None = None,
     cache: ResultCache | None | bool = None,
 ) -> list:
-    """Run cells — cache-aware, optionally across processes.
+    """Run cells — cache-aware, optionally across the warm worker pool.
 
     Accepts :class:`SweepCell` lifetime cells and any generic cell
     (``key_payload()`` + ``run()``, optional ``cacheable`` flag), mixed
@@ -181,7 +464,9 @@ def run_cells(
     :class:`~repro.cache.ResultCache` is used as-is.  Cells whose outcome
     is not deterministic (``cacheable == False``) always run live.  Cache
     reads/writes happen only in the parent process, so workers stay
-    write-free and the stats counters stay coherent.
+    write-free and the stats counters stay coherent.  Each cell's key is
+    computed exactly once per call (probe and store share it), with the
+    code fingerprint folded in exactly once.
     """
     config = config or ExperimentConfig.from_env()
     if jobs is None:
@@ -191,13 +476,18 @@ def run_cells(
     elif cache is False:
         cache = None
     results: list = [None] * len(cells)
+    keys: dict[int, str] = {}
+    if cache is not None:
+        fingerprint = code_fingerprint()
+        keys = {
+            index: cell_key(cell, fingerprint)
+            for index, cell in enumerate(cells)
+            if cell_cacheable(cell)
+        }
     pending: list[int] = []
-    for index, cell in enumerate(cells):
-        hit = (
-            cache.get(cell_key(cell))
-            if cache is not None and cell_cacheable(cell)
-            else None
-        )
+    for index in range(len(cells)):
+        key = keys.get(index)
+        hit = cache.get(key) if key is not None else None
         if hit is not None:
             results[index] = hit
             _CELLS_CACHED.inc()
@@ -205,22 +495,13 @@ def run_cells(
             pending.append(index)
     registry = _metrics.get_registry()
     if jobs > 1 and len(pending) > 1:
-        telemetry = registry.enabled
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_run_cell_observed, cells[index], telemetry): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                result, snap = future.result()
-                results[futures[future]] = result
-                if snap is not None:
-                    registry.merge(snap)
+        _run_parallel(cells, pending, results, jobs, registry)
     else:
         for index in pending:
-            results[index] = run_cell(cells[index])
+            results[index] = _run_one(cells[index])
     if cache is not None:
         for index in pending:
-            if cell_cacheable(cells[index]):
-                cache.put(cell_key(cells[index]), results[index])
+            key = keys.get(index)
+            if key is not None:
+                cache.put(key, results[index])
     return results

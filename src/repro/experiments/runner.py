@@ -11,11 +11,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.cache import get_default_cache
+from repro.coding.kernels import BACKEND_ENV, resolve_backend
+from repro.errors import ConfigurationError
 from repro.experiments import extensions, figures, table1
+from repro.experiments import pool as _pool
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.summary import build_summary, format_summary
 from repro.obs import registry as _metrics
@@ -84,6 +88,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", dest="cache", action="store_false",
                         default=defaults.cache,
                         help="skip the on-disk result cache entirely")
+    parser.add_argument("--viterbi-backend", default=defaults.viterbi_backend,
+                        help="ACS kernel backend for the MFC coset codes "
+                             "(auto/numpy/numba; auto prefers numba when "
+                             "installed, results are bit-identical either "
+                             "way)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write a Prometheus-style metrics dump here "
                              "(implies telemetry collection)")
@@ -102,39 +111,52 @@ def main(argv: list[str] | None = None) -> int:
         metrics=bool(
             defaults.metrics or args.metrics_out or args.trace_out
         ),
+        viterbi_backend=args.viterbi_backend.lower(),
     )
+    try:
+        resolve_backend(config.viterbi_backend)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    # Workers fork after this point; the env var is how the choice
+    # reaches every CosetViterbi constructed anywhere in the sweep.
+    os.environ[BACKEND_ENV] = config.viterbi_backend
     if config.metrics:
         _metrics.set_enabled(True)
     cache = get_default_cache() if config.cache else None
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     registry = _metrics.get_registry()
-    for name in names:
-        cache_before = cache.stats.snapshot() if cache is not None else None
-        registry_before = (
-            registry.snapshot(include_events=False)
-            if registry.enabled
-            else None
-        )
-        start = time.time()
-        output = _run_one(name, config)
-        elapsed = time.time() - start
-        lanes_note = f", {config.lanes} lanes" if config.lanes > 1 else ""
-        print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
-              f"K={config.constraint_length}{lanes_note}, {elapsed:.1f}s) ===")
-        print(output)
-        summary = build_summary(
-            name,
-            elapsed=elapsed,
-            jobs=config.jobs,
-            lanes=config.lanes,
-            cache_delta=(
-                cache.stats.since(cache_before) if cache is not None else None
-            ),
-            cache_root=str(cache.root) if cache is not None else None,
-            before=registry_before,
-        )
-        print(format_summary(summary))
-        print()
+    try:
+        for name in names:
+            cache_before = cache.stats.snapshot() if cache is not None else None
+            registry_before = (
+                registry.snapshot(include_events=False)
+                if registry.enabled
+                else None
+            )
+            start = time.time()
+            output = _run_one(name, config)
+            elapsed = time.time() - start
+            lanes_note = f", {config.lanes} lanes" if config.lanes > 1 else ""
+            print(f"=== {name} (page {config.page_bytes} B, {config.cycles} cycles, "
+                  f"K={config.constraint_length}{lanes_note}, {elapsed:.1f}s) ===")
+            print(output)
+            summary = build_summary(
+                name,
+                elapsed=elapsed,
+                jobs=config.jobs,
+                lanes=config.lanes,
+                cache_delta=(
+                    cache.stats.since(cache_before) if cache is not None else None
+                ),
+                cache_root=str(cache.root) if cache is not None else None,
+                before=registry_before,
+            )
+            print(format_summary(summary))
+            print()
+    finally:
+        # Atexit would catch this too, but tearing the warm pool down
+        # here keeps worker processes from outliving an interactive run.
+        _pool.shutdown()
     if args.metrics_out:
         write_metrics(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")

@@ -13,7 +13,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.coding import kernels
 from repro.coding.coset import ConvolutionalCosetCode
+from repro.coding.viterbi import CosetViterbi
+from repro.errors import ConfigurationError
 from repro.core.mfc import MFC_VARIANTS
 
 
@@ -152,3 +155,52 @@ def test_float32_metric_bound_falls_back_to_float64() -> None:
         viterbi._max_step_cost = original
     assert np.array_equal(fast.codeword_values, wide.codeword_values)
     assert np.array_equal(fast.total_costs, wide.total_costs)
+
+
+# ---------------------------------------------------------------------------
+# Pluggable ACS backends: every registered backend must be bit-identical.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", kernels.available_backends())
+@pytest.mark.parametrize("variant", ["mfc-1/2-1bpc", "mfc-2/3", "mfc-4/5"])
+def test_every_available_backend_bit_identical(backend, variant) -> None:
+    code = _make_code(variant, 4)
+    reference = code.viterbi
+    swapped = CosetViterbi(reference.trellis, reference.codebook, backend=backend)
+    assert swapped.backend.name == backend
+    num_levels = reference.codebook.num_levels
+    for seed, steps in ((4, 12), (5, 13)):  # even + odd-tail trellises
+        reps, levels = _random_case(reference, 5, steps, seed, num_levels - 2)
+        _assert_bit_identical(swapped, reps, levels)
+
+
+def test_unknown_backend_raises() -> None:
+    with pytest.raises(ConfigurationError, match="unknown Viterbi kernel"):
+        kernels.resolve_backend("vectorblas")
+
+
+def test_auto_selection_prefers_accelerator_else_numpy() -> None:
+    expected = "numba" if kernels.numba_available() else "numpy"
+    assert kernels.resolve_backend("auto").name == expected
+    assert kernels.resolve_backend(None).name == expected
+
+
+@pytest.mark.skipif(
+    kernels.numba_available(), reason="numba installed; absence path untestable"
+)
+def test_explicit_numba_without_numba_raises() -> None:
+    with pytest.raises(ConfigurationError, match="not .*available"):
+        kernels.resolve_backend("numba")
+
+
+def test_env_var_selects_backend(monkeypatch) -> None:
+    monkeypatch.setenv(kernels.BACKEND_ENV, "numpy")
+    assert kernels.resolve_backend().name == "numpy"
+    code = _make_code("mfc-1/2-1bpc", 3)
+    assert code.viterbi.backend.name == "numpy"
+    # An explicit argument outranks the environment.
+    monkeypatch.setenv(kernels.BACKEND_ENV, "vectorblas")
+    assert kernels.resolve_backend("numpy").name == "numpy"
+    with pytest.raises(ConfigurationError):
+        kernels.resolve_backend()

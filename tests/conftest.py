@@ -35,6 +35,21 @@ def _isolated_result_cache(tmp_path, monkeypatch) -> None:
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_pool() -> None:
+    """Tear down the warm sweep pool (and scheme memo) after every test.
+
+    The pool is process-lifetime by design; without this, a test's
+    workers — forked with that test's environment and memoized schemes —
+    would serve the next test's cells.
+    """
+    yield
+    from repro.experiments import engine, pool
+
+    pool.shutdown()
+    engine.clear_scheme_memo()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""
