@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import binascii
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,6 +69,9 @@ _REPLAYED_TRIMS = _metrics.counter("durability.replayed_trims")
 _TORN_BYTES = _metrics.counter("durability.torn_bytes_discarded")
 _AUDIT_FAILURES = _metrics.counter("durability.audit_failures")
 _CHECKPOINTS = _metrics.counter("durability.checkpoints")
+_RECOVERY_TOTAL = _metrics.gauge("durability.recovery_records_total")
+_RECOVERY_REPLAYED = _metrics.gauge("durability.recovery_replayed_records")
+_RECOVERY_PROGRESS = _metrics.gauge("durability.recovery_progress")
 
 #: Maps FTL ``event_sink`` kinds to informational journal opcodes.
 _EVENT_OPCODES = {
@@ -150,12 +154,35 @@ class DurableStore:
         self._checkpoint_sha = _ZERO_SHA
         self._read_only_journaled = False
         self._replaying = False
+        #: Monotonic time of the oldest uncommitted journal append (None
+        #: when everything appended so far has been fsynced).
+        self._pending_since: float | None = None
+        #: Replay progress fraction; 1.0 once recovery finished (and on
+        #: stores that never needed a replay).
+        self._recovery_progress = 1.0
         os.makedirs(self.data_dir, exist_ok=True)
 
     @property
     def ready(self) -> bool:
         """True once :meth:`recover` succeeded and the journal is open."""
         return self._writer is not None
+
+    @property
+    def fsync_lag_seconds(self) -> float:
+        """Age of the oldest journaled-but-not-fsynced record (0.0 if none).
+
+        A growing lag means mutations sit exposed between journal append
+        and group commit — the health endpoints surface it so a wedged or
+        slow fsync path is visible before a crash makes it matter.
+        """
+        if self._pending_since is None:
+            return 0.0
+        return time.monotonic() - self._pending_since
+
+    @property
+    def recovery_progress(self) -> float:
+        """Journal-replay progress in [0, 1]; 1.0 outside recovery."""
+        return self._recovery_progress
 
     # -- recovery -------------------------------------------------------------
 
@@ -263,8 +290,16 @@ class DurableStore:
         """
         self._replaying = True
         cursor = applied_seq
+        total = len(records)
+        self._recovery_progress = 0.0 if total else 1.0
+        _RECOVERY_TOTAL.set(total)
+        _RECOVERY_REPLAYED.set(0)
+        _RECOVERY_PROGRESS.set(self._recovery_progress)
         try:
-            for record in records:
+            for index, record in enumerate(records, start=1):
+                self._recovery_progress = index / total
+                _RECOVERY_REPLAYED.set(index)
+                _RECOVERY_PROGRESS.set(self._recovery_progress)
                 if record.seq <= cursor:
                     continue
                 cursor = record.seq
@@ -302,6 +337,8 @@ class DurableStore:
                             break
         finally:
             self._replaying = False
+            self._recovery_progress = 1.0
+            _RECOVERY_PROGRESS.set(1.0)
 
     # -- live journaling ------------------------------------------------------
 
@@ -328,6 +365,8 @@ class DurableStore:
         self._next_seq += 1
         self._writer.append(JournalRecord(opcode=opcode, seq=seq, args=args))
         self._records_since_checkpoint += 1
+        if self._pending_since is None:
+            self._pending_since = time.monotonic()
         return seq
 
     def journal_write(self, lpn: int, data: np.ndarray) -> int:
@@ -353,7 +392,9 @@ class DurableStore:
         """
         if self._writer is None:
             raise DurabilityError("store has no open journal; recover() first")
-        return self._writer.commit()
+        committed = self._writer.commit()
+        self._pending_since = None
+        return committed
 
     # -- checkpointing --------------------------------------------------------
 

@@ -29,6 +29,14 @@ _FOOTER_COUNTERS = (
     "sweep.cells_cached",
     "scheme.writes",
     "viterbi.searches",
+    "obs.events_dropped",
+)
+
+#: (footer label, histogram name) pairs whose p50/p99 deltas land in
+#: ``summary["latencies"]`` and the footer line.
+_FOOTER_HISTOGRAMS = (
+    ("encode", "span.coset.encode_batch.seconds"),
+    ("flush", "span.server.flush.seconds"),
 )
 
 
@@ -89,9 +97,24 @@ def build_summary(
             }
         else:
             summary["bits_per_write"] = None
+        latencies: dict[str, dict[str, float]] = {}
+        for label, hist_name in _FOOTER_HISTOGRAMS:
+            hist = now.histograms.get(hist_name)
+            if hist is not None and before is not None:
+                earlier = before.histograms.get(hist_name)
+                if earlier is not None:
+                    hist = hist.since(earlier)
+            if hist is not None and hist.count:
+                latencies[label] = {
+                    "count": hist.count,
+                    "p50": hist.quantile(0.5),
+                    "p99": hist.quantile(0.99),
+                }
+        summary["latencies"] = latencies
     else:
         summary["counters"] = {}
         summary["bits_per_write"] = None
+        summary["latencies"] = {}
     return summary
 
 
@@ -122,5 +145,10 @@ def format_summary(summary: dict[str, Any]) -> str:
         parts.append(
             f"bits/write p50 {bits['p50']:.0f} p99 {bits['p99']:.0f} "
             f"(n={bits['count']})"
+        )
+    for label, quantiles in (summary.get("latencies") or {}).items():
+        parts.append(
+            f"{label} p50 {quantiles['p50'] * 1e3:.2f}ms "
+            f"p99 {quantiles['p99'] * 1e3:.2f}ms"
         )
     return f"[{summary['experiment']}] " + ", ".join(parts)

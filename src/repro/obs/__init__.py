@@ -25,6 +25,7 @@ instrumented-layer map and the cross-process aggregation contract.
 """
 
 from repro.obs.export import to_prometheus, trace_lines, write_metrics, write_trace
+from repro.obs.http import ObsHttpServer
 from repro.obs.registry import (
     TIME_BUCKETS,
     VALUE_BUCKETS,
@@ -41,7 +42,8 @@ from repro.obs.registry import (
     is_enabled,
     set_enabled,
 )
-from repro.obs.tracing import span, traced
+from repro.obs.slo import SLOConfig, SLOStatus, SLOTracker
+from repro.obs.tracing import new_trace_id, span, traced
 
 __all__ = [
     "TIME_BUCKETS",
@@ -51,12 +53,17 @@ __all__ = [
     "Histogram",
     "HistogramSnapshot",
     "MetricsRegistry",
+    "ObsHttpServer",
     "RegistrySnapshot",
+    "SLOConfig",
+    "SLOStatus",
+    "SLOTracker",
     "counter",
     "gauge",
     "get_registry",
     "histogram",
     "is_enabled",
+    "new_trace_id",
     "set_enabled",
     "span",
     "to_prometheus",

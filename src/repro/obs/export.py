@@ -5,12 +5,25 @@ gauges, and histograms with ``_bucket``/``_sum``/``_count`` series), with
 dotted instrument names flattened to underscores and prefixed ``repro_``.
 The trace export is one JSON object per line — loadable with ``jq``, pandas
 or any log pipeline.
+
+Tenant labels
+-------------
+Per-tenant instruments are registered internally under flat dotted names
+(``server.tenant3.requests``, ``loadgen.tenant0.latency_seconds``).  The
+exporter converts them to proper Prometheus label sets — one
+``repro_server_tenant_requests{tenant="3"}`` family per metric instead of
+one family per tenant — so cluster rollups can aggregate across tenants
+with PromQL instead of regexes.  The old flat series are still emitted by
+default behind the ``REPRO_OBS_LEGACY_TENANT_METRICS`` deprecation flag
+(set it to ``0`` to drop them); they will disappear once downstream
+dashboards and the CI greps migrate to the labelled families.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from pathlib import Path
 
@@ -29,9 +42,28 @@ __all__ = [
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: Flat per-tenant instrument names: ``<layer>.tenant<N>.<rest>``.
+_TENANT_RE = re.compile(r"^(server|loadgen)\.tenant(\d+)\.(.+)$")
+
+
+def _legacy_tenant_names_default() -> bool:
+    return os.environ.get(
+        "REPRO_OBS_LEGACY_TENANT_METRICS", "1"
+    ).lower() in ("1", "true", "yes", "on")
+
 
 def _metric_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _format_value(value: float) -> str:
@@ -44,6 +76,25 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _labels_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _split_tenant(name: str) -> tuple[str, dict[str, str]]:
+    """``server.tenant3.requests`` -> (``server.tenant.requests``, labels)."""
+    match = _TENANT_RE.match(name)
+    if match is None:
+        return name, {}
+    layer, tenant, rest = match.groups()
+    return f"{layer}.tenant.{rest}", {"tenant": tenant}
+
+
 def _as_snapshot(source) -> RegistrySnapshot:
     if isinstance(source, RegistrySnapshot):
         return source
@@ -54,31 +105,73 @@ def _as_snapshot(source) -> RegistrySnapshot:
     raise TypeError(f"cannot export {type(source).__name__}")
 
 
-def to_prometheus(source: MetricsRegistry | RegistrySnapshot | None = None) -> str:
-    """Render a registry (default: the process-global one) as Prometheus text."""
+def _group(names, legacy: bool):
+    """Group instrument names into (family, [(labels, name)]) series lists.
+
+    Families keep first-seen order of the sorted flat names; with
+    ``legacy`` each labelled instrument *also* yields its original flat
+    single-series family, so old greps keep matching.
+    """
+    families: dict[str, list[tuple[dict[str, str], str]]] = {}
+    for name in sorted(names):
+        family, labels = _split_tenant(name)
+        families.setdefault(family, []).append((labels, name))
+        if labels and legacy:
+            families.setdefault(name, []).append(({}, name))
+    return families
+
+
+def to_prometheus(
+    source: MetricsRegistry | RegistrySnapshot | None = None,
+    *,
+    legacy_tenant_names: bool | None = None,
+) -> str:
+    """Render a registry (default: the process-global one) as Prometheus text.
+
+    ``legacy_tenant_names`` controls whether flat per-tenant series
+    (``repro_server_tenant3_requests``) are emitted alongside the labelled
+    families; ``None`` reads the ``REPRO_OBS_LEGACY_TENANT_METRICS``
+    deprecation flag (default on).
+    """
+    if legacy_tenant_names is None:
+        legacy_tenant_names = _legacy_tenant_names_default()
     snap = _as_snapshot(source)
     lines: list[str] = []
-    for name in sorted(snap.counters):
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(snap.counters[name])}")
-    for name in sorted(snap.gauges):
-        metric = _metric_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(snap.gauges[name])}")
-    for name in sorted(snap.histograms):
-        hist = snap.histograms[name]
-        metric = _metric_name(name)
+
+    def emit_scalars(values: dict[str, float], kind: str) -> None:
+        for family, series in _group(values, legacy_tenant_names).items():
+            metric = _metric_name(family)
+            lines.append(f"# TYPE {metric} {kind}")
+            for labels, name in series:
+                lines.append(
+                    f"{metric}{_labels_suffix(labels)} "
+                    f"{_format_value(values[name])}"
+                )
+
+    emit_scalars(snap.counters, "counter")
+    emit_scalars(snap.gauges, "gauge")
+    for family, series in _group(
+        snap.histograms, legacy_tenant_names
+    ).items():
+        metric = _metric_name(family)
         lines.append(f"# TYPE {metric} histogram")
-        cumulative = 0
-        for upper, count in zip(hist.buckets, hist.counts):
-            cumulative += count
+        for labels, name in series:
+            hist = snap.histograms[name]
+            cumulative = 0
+            for upper, count in zip(hist.buckets, hist.counts):
+                cumulative += count
+                bucket_labels = dict(labels, le=_format_value(upper))
+                lines.append(
+                    f"{metric}_bucket{_labels_suffix(bucket_labels)} "
+                    f"{cumulative}"
+                )
             lines.append(
-                f'{metric}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+                f"{metric}_bucket{_labels_suffix(dict(labels, le='+Inf'))} "
+                f"{hist.count}"
             )
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
-        lines.append(f"{metric}_count {hist.count}")
+            suffix = _labels_suffix(labels)
+            lines.append(f"{metric}_sum{suffix} {_format_value(hist.sum)}")
+            lines.append(f"{metric}_count{suffix} {hist.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

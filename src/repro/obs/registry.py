@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import math
 import os
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -56,8 +58,11 @@ TIME_BUCKETS: tuple[float, ...] = (
 #: powers of four up to a 4 KB page's bit count and beyond.
 VALUE_BUCKETS: tuple[float, ...] = tuple(float(4**k) for k in range(10))
 
-#: Trace events kept per registry before new ones are dropped (and counted
-#: in ``obs.events_dropped``); bounds memory on very long runs.
+#: Trace events retained per registry.  The store is a *ring buffer*: once
+#: full, recording a new event evicts the oldest one (counted in
+#: ``obs.events_dropped``), so a long-running server always holds the most
+#: recent spans — exactly what the live ``/traces`` endpoint serves —
+#: while memory stays bounded.
 MAX_EVENTS = 200_000
 
 
@@ -257,9 +262,19 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self.events: list[dict] = []
+        self.events: deque[dict] = deque(maxlen=max_events)
+        #: Guards the ring buffer: the serving layer records events from its
+        #: device thread while the HTTP sidecar snapshots from the event
+        #: loop thread.
+        self._events_lock = threading.Lock()
         self._span_stack: list[int] = []
+        self._trace_stack: list[int | None] = []
         self._next_span_id = 1
+        #: Head-based sampling: keep every Nth *top-level* span (and its
+        #: whole subtree).  1 records everything; see ``trace_sample_every``.
+        self.trace_sample_every = 1
+        self._head_spans = 0
+        self._suppress_depth = 0
 
     # -- instruments (get-or-create; handles stay valid across reset) --------
 
@@ -288,13 +303,39 @@ class MetricsRegistry:
     # -- trace events ---------------------------------------------------------
 
     def record_event(self, event: dict) -> None:
-        """Append one structured trace event (drops past ``max_events``)."""
+        """Append one structured trace event to the ring buffer.
+
+        Once the buffer holds ``max_events`` entries each new event evicts
+        the oldest one; evictions are counted in ``obs.events_dropped`` so
+        silent loss is visible in ``/metrics`` and the runner footer.
+        """
         if not self.enabled:
             return
-        if len(self.events) >= self.max_events:
-            self.counter("obs.events_dropped").inc()
-            return
-        self.events.append(event)
+        with self._events_lock:
+            if len(self.events) >= self.max_events:
+                self.counter("obs.events_dropped").inc()
+            self.events.append(event)
+
+    def recent_events(
+        self, limit: int | None = None, trace_id: int | None = None
+    ) -> list[dict]:
+        """The newest events (chronological), optionally trace-filtered.
+
+        A trace filter matches events stamped with the id directly and
+        batch-level spans (flush, fsync) whose ``attrs["trace_ids"]`` list
+        contains it.
+        """
+        with self._events_lock:
+            events = list(self.events)
+        if trace_id is not None:
+            events = [
+                event for event in events
+                if event.get("trace_id") == trace_id
+                or trace_id in (event.get("attrs") or {}).get("trace_ids", ())
+            ]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
 
     def next_span_id(self) -> int:
         span_id = self._next_span_id
@@ -305,6 +346,11 @@ class MetricsRegistry:
 
     def snapshot(self, include_events: bool = True) -> RegistrySnapshot:
         """A picklable capture of everything collected so far."""
+        if include_events:
+            with self._events_lock:
+                events = tuple(self.events)
+        else:
+            events = ()
         return RegistrySnapshot(
             counters={
                 name: instrument.value
@@ -321,7 +367,7 @@ class MetricsRegistry:
                 for name, instrument in self._histograms.items()
                 if instrument.count
             },
-            events=tuple(self.events) if include_events else (),
+            events=events,
         )
 
     def merge(self, snap: RegistrySnapshot) -> None:
@@ -340,10 +386,11 @@ class MetricsRegistry:
             instrument.value = max(instrument.value, value)
         for name, hist_snap in snap.histograms.items():
             self.histogram(name, hist_snap.buckets)._merge(hist_snap)
-        room = self.max_events - len(self.events)
-        if room > 0:
-            self.events.extend(snap.events[:room])
-        dropped = max(0, len(snap.events) - max(room, 0))
+        with self._events_lock:
+            dropped = max(
+                0, len(self.events) + len(snap.events) - self.max_events
+            )
+            self.events.extend(snap.events)  # ring: oldest evict first
         if dropped:
             self.counter("obs.events_dropped").value += dropped
 
@@ -374,9 +421,13 @@ class MetricsRegistry:
             instrument.count = 0
             instrument.min = math.inf
             instrument.max = -math.inf
-        self.events.clear()
+        with self._events_lock:
+            self.events.clear()
         self._span_stack.clear()
+        self._trace_stack.clear()
         self._next_span_id = 1
+        self._head_spans = 0
+        self._suppress_depth = 0
 
 
 #: The permanent process-global registry.  It is never replaced (so module-

@@ -1,0 +1,231 @@
+"""SLO tracking: availability and latency targets with multi-window burn rates.
+
+An SLO is a target fraction of *good* requests (availability: non-error
+responses; latency: responses under a threshold).  The **burn rate** is how
+fast the error budget — the tolerated bad fraction, ``1 - target`` — is
+being spent: a burn rate of 1.0 consumes exactly the budget over the SLO
+period, 10.0 consumes it ten times too fast.  Following the standard
+multi-window practice, the tracker reports each SLO's burn over a *fast*
+window (catches sudden outages) and a *slow* window (catches sustained
+slow burns); an alert is only "burning" when **both** windows exceed the
+threshold, which suppresses blips without missing real incidents.
+
+The tracker is sampling-based and pull-driven: each :meth:`SLOTracker.update`
+(the HTTP sidecar calls it on every ``/metrics`` or ``/healthz`` hit)
+captures the cumulative good/total counts from the existing registry
+instruments (``server.requests``/``server.errors`` counters and the
+``server.request_seconds`` histogram — no new accounting on the serving
+hot path), appends them to a bounded ring of timestamped samples, and
+derives windowed rates from sample deltas.  Results are published as
+``repro_slo_*`` gauges so burn rates land in the same scrape that carries
+the raw series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs import registry as _metrics
+from repro.obs.registry import TIME_BUCKETS
+
+__all__ = ["SLOConfig", "SLOStatus", "SLOTracker"]
+
+#: Default multi-window pair (seconds): 5 minutes fast, 1 hour slow.
+DEFAULT_WINDOWS = ((300.0, "fast"), (3600.0, "slow"))
+
+#: Burn rate above which a window is considered "burning".  14.4 is the
+#: classic fast-burn threshold: a 99.9% monthly SLO consumes 2% of its
+#: budget per hour at that rate.
+BURN_ALERT_THRESHOLD = 14.4
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Targets and windows for one service's SLOs."""
+
+    availability_target: float = 0.999
+    latency_threshold_s: float = 0.1     # a request is "good" under this
+    latency_target: float = 0.99
+    windows: tuple[tuple[float, str], ...] = DEFAULT_WINDOWS
+    burn_alert_threshold: float = BURN_ALERT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        for name, target in (
+            ("availability_target", self.availability_target),
+            ("latency_target", self.latency_target),
+        ):
+            if not 0 < target < 1:
+                raise ConfigurationError(
+                    f"{name} must lie in (0, 1), got {target}"
+                )
+        if self.latency_threshold_s <= 0:
+            raise ConfigurationError("latency_threshold_s must be positive")
+        if not self.windows:
+            raise ConfigurationError("need at least one burn-rate window")
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One SLO's point-in-time view: target, compliance, burn per window."""
+
+    name: str
+    target: float
+    good: int            # cumulative good requests observed
+    total: int           # cumulative total requests observed
+    burn: dict[str, float] = field(default_factory=dict)
+    burning: bool = False
+
+    @property
+    def compliance(self) -> float:
+        """Lifetime good fraction (1.0 when no traffic yet)."""
+        return self.good / self.total if self.total else 1.0
+
+
+@dataclass(frozen=True)
+class _Sample:
+    t: float
+    requests: float
+    errors: float
+    latency_good: int
+    latency_total: int
+
+
+class SLOTracker:
+    """Rolling multi-window burn-rate tracker over the metrics registry.
+
+    ``update()`` is cheap (a few counter reads) and idempotent per
+    instant; callers may invoke it on every scrape.  All gauges it
+    publishes are prefixed ``slo.`` (``repro_slo_`` on the wire).
+    """
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        registry: _metrics.MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or SLOConfig()
+        self._registry = registry or _metrics.get_registry()
+        self._clock = clock
+        self._samples: list[_Sample] = []
+        self._horizon = max(w for w, _ in self.config.windows)
+
+    # -- sampling --------------------------------------------------------------
+
+    def _latency_counts(self) -> tuple[int, int]:
+        """(good, total) request-latency observations so far."""
+        # Same buckets the serving layer uses, so a tracker that samples
+        # before the first request doesn't get-or-create a mismatched grid.
+        hist = self._registry.histogram("server.request_seconds", TIME_BUCKETS)
+        good = 0
+        for upper, count in zip(hist.buckets, hist.counts):
+            if upper <= self.config.latency_threshold_s:
+                good += count
+        return good, hist.count
+
+    def update(self) -> dict[str, SLOStatus]:
+        """Take one sample, refresh the ``slo.*`` gauges, return statuses."""
+        now = self._clock()
+        good_lat, total_lat = self._latency_counts()
+        sample = _Sample(
+            t=now,
+            requests=self._registry.counter("server.requests").value,
+            errors=self._registry.counter("server.errors").value,
+            latency_good=good_lat,
+            latency_total=total_lat,
+        )
+        # Keep one sample older than the horizon so the slow window always
+        # has a far edge to diff against.
+        self._samples.append(sample)
+        cutoff = now - self._horizon
+        while len(self._samples) >= 2 and self._samples[1].t <= cutoff:
+            self._samples.pop(0)
+        return self._publish(sample)
+
+    # -- burn-rate math ----------------------------------------------------------
+
+    def _window_edge(self, now: float, window: float) -> _Sample:
+        """The oldest retained sample inside (or at the edge of) the window."""
+        edge = self._samples[0]
+        for sample in self._samples:
+            if sample.t < now - window:
+                edge = sample
+            else:
+                break
+        return edge
+
+    def _burn(self, bad_delta: float, total_delta: float, budget: float) -> float:
+        if total_delta <= 0:
+            return 0.0
+        return (bad_delta / total_delta) / budget
+
+    def _statuses(self, current: _Sample) -> dict[str, SLOStatus]:
+        cfg = self.config
+        avail_burn: dict[str, float] = {}
+        lat_burn: dict[str, float] = {}
+        for window, label in cfg.windows:
+            edge = self._window_edge(current.t, window)
+            avail_burn[label] = self._burn(
+                current.errors - edge.errors,
+                current.requests - edge.requests,
+                1 - cfg.availability_target,
+            )
+            lat_total = current.latency_total - edge.latency_total
+            lat_bad = lat_total - (current.latency_good - edge.latency_good)
+            lat_burn[label] = self._burn(
+                lat_bad, lat_total, 1 - cfg.latency_target
+            )
+        threshold = cfg.burn_alert_threshold
+        return {
+            "availability": SLOStatus(
+                name="availability",
+                target=cfg.availability_target,
+                good=int(current.requests - current.errors),
+                total=int(current.requests),
+                burn=avail_burn,
+                burning=all(
+                    rate > threshold for rate in avail_burn.values()
+                ),
+            ),
+            "latency": SLOStatus(
+                name="latency",
+                target=cfg.latency_target,
+                good=current.latency_good,
+                total=current.latency_total,
+                burn=lat_burn,
+                burning=all(rate > threshold for rate in lat_burn.values()),
+            ),
+        }
+
+    def _publish(self, current: _Sample) -> dict[str, SLOStatus]:
+        statuses = self._statuses(current)
+        reg = self._registry
+        reg.gauge("slo.availability.target").set(
+            self.config.availability_target
+        )
+        reg.gauge("slo.latency.target").set(self.config.latency_target)
+        reg.gauge("slo.latency.threshold_seconds").set(
+            self.config.latency_threshold_s
+        )
+        for status in statuses.values():
+            for label, rate in status.burn.items():
+                reg.gauge(f"slo.{status.name}.burn_rate_{label}").set(rate)
+            reg.gauge(f"slo.{status.name}.burning").set(
+                1.0 if status.burning else 0.0
+            )
+        return statuses
+
+    def status(self) -> dict:
+        """JSON-friendly view for ``/healthz`` (updates first)."""
+        statuses = self.update()
+        return {
+            name: {
+                "target": status.target,
+                "compliance": status.compliance,
+                "burn_rate": dict(status.burn),
+                "burning": status.burning,
+            }
+            for name, status in statuses.items()
+        }

@@ -19,11 +19,23 @@ service-specific failures raise :class:`~repro.errors.ServerBusyError`,
 :class:`~repro.errors.RecoveringError` (crash recovery is still replaying
 the journal — retry shortly), :class:`~repro.errors.ProtocolError` or
 plain :class:`~repro.errors.ServerError`.
+
+Trace propagation
+-----------------
+``connect()`` negotiates the protocol version via HELLO (falling back to
+version 0 against old servers).  On a version-1 connection with metrics
+enabled, every request is stamped with a fresh 64-bit trace id carried in
+the wire frame; the server's admission/flush/fsync spans pick it up, so one
+``trace_id`` stitches the whole request across processes.  The id of the
+most recently *issued* request is exposed as ``client.last_trace_id`` and
+each completed request records a ``client.request`` trace event locally.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import time
 
 import numpy as np
 
@@ -37,8 +49,17 @@ from repro.errors import (
     ServerError,
     UncorrectableReadError,
 )
+from repro.obs import registry as _metrics
+from repro.obs.registry import TIME_BUCKETS
+from repro.obs.tracing import new_trace_id
 from repro.server import protocol
-from repro.server.protocol import Opcode, Request, Response, Status
+from repro.server.protocol import (
+    PROTO_VERSION,
+    Opcode,
+    Request,
+    Response,
+    Status,
+)
 
 __all__ = ["StorageClient"]
 
@@ -66,6 +87,10 @@ class StorageClient:
         self._pending: dict[int, tuple[Opcode, asyncio.Future]] = {}
         self._closed = False
         self._dead: Exception | None = None  # set once the read loop exits
+        #: Negotiated protocol version (0 until a HELLO exchange raises it).
+        self.proto_version = 0
+        #: Trace id stamped on the most recently issued traced request.
+        self.last_trace_id = 0
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
@@ -74,12 +99,21 @@ class StorageClient:
     ) -> "StorageClient":
         reader, writer = await asyncio.open_connection(host, port)
         client = cls(reader, writer)
-        if tenant is not None:
-            try:
-                await client.hello(tenant)
-            except BaseException:
-                await client.close()
-                raise
+        try:
+            await client.hello(tenant if tenant is not None else 0)
+        except ServerError:
+            # A version-0 server rejects the 4-byte HELLO payload; retry
+            # the old 2-byte form (only when a tenant actually needs
+            # declaring) and stay at protocol version 0.
+            if tenant is not None:
+                try:
+                    await client.hello(tenant, version=0)
+                except BaseException:
+                    await client.close()
+                    raise
+        except BaseException:
+            await client.close()
+            raise
         return client
 
     async def __aenter__(self) -> "StorageClient":
@@ -109,9 +143,19 @@ class StorageClient:
         response = await self._request(Request(Opcode.STAT, 0))
         return response.stat
 
-    async def hello(self, tenant: int) -> None:
-        """Declare this connection's tenant for QoS accounting."""
-        await self._request(Request(Opcode.HELLO, 0, tenant=tenant))
+    async def hello(
+        self, tenant: int, version: int = PROTO_VERSION
+    ) -> None:
+        """Declare this connection's tenant and negotiate the protocol.
+
+        Offers ``version`` (default: the highest this build speaks); the
+        connection settles on ``min(offered, server's)``.  ``version=0``
+        sends the legacy 2-byte HELLO that any server accepts.
+        """
+        response = await self._request(
+            Request(Opcode.HELLO, 0, tenant=tenant, version=version)
+        )
+        self.proto_version = min(version, response.version)
 
     async def close(self) -> None:
         """Close the connection; pending requests fail with ConnectionLost."""
@@ -141,10 +185,21 @@ class StorageClient:
             raise ConnectionLostError(str(self._dead))
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        registry = _metrics.get_registry()
+        trace_id = 0
+        if (
+            self.proto_version >= 1
+            and registry.enabled
+            and request.opcode is not Opcode.HELLO
+        ):
+            trace_id = new_trace_id()
+            self.last_trace_id = trace_id
         request = Request(request.opcode, request_id, lpn=request.lpn,
-                          data=request.data, tenant=request.tenant)
+                          data=request.data, tenant=request.tenant,
+                          version=request.version, trace_id=trace_id)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = (request.opcode, future)
+        start = time.perf_counter()
         try:
             self._writer.write(protocol.encode_request(request))
             await self._writer.drain()
@@ -152,6 +207,30 @@ class StorageClient:
             self._pending.pop(request_id, None)
             raise ConnectionLostError(str(exc)) from exc
         response = await future
+        if registry.enabled and request.opcode is not Opcode.HELLO:
+            # Recorded as a flat event rather than a ``span()``: requests
+            # pipeline across awaits, so nesting them on the span stack
+            # would interleave unrelated requests into one bogus tree.
+            duration = time.perf_counter() - start
+            event = {
+                "name": "client.request",
+                "span_id": registry.next_span_id(),
+                "parent_id": None,
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "dur": duration,
+                "attrs": {
+                    "op": request.opcode.name,
+                    "lpn": request.lpn,
+                    "status": response.status.name,
+                },
+            }
+            if trace_id:
+                event["trace_id"] = trace_id
+            registry.record_event(event)
+            registry.histogram(
+                "client.request_seconds", TIME_BUCKETS
+            ).observe(duration)
         if response.status is not Status.OK:
             raise _STATUS_ERRORS[response.status](
                 response.message or response.status.name

@@ -38,6 +38,7 @@ published to :mod:`repro.obs` (``loadgen.*`` and per-tenant
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass
 
@@ -261,6 +262,37 @@ class _Tally:
         )
 
 
+def _note_op(
+    client: StorageClient, op: Op, start: float, outcome: str
+) -> None:
+    """Record one end-to-end ``loadgen.op`` trace event.
+
+    Stamped with the trace id the client wired onto the request, so the
+    same id links loadgen issue -> client send -> server admission ->
+    flush -> fsync across processes.
+    """
+    registry = _metrics.get_registry()
+    if not registry.enabled:
+        return
+    event = {
+        "name": "loadgen.op",
+        "span_id": registry.next_span_id(),
+        "parent_id": None,
+        "pid": os.getpid(),
+        "ts": time.time(),
+        "dur": time.perf_counter() - start,
+        "attrs": {
+            "op": op.kind.name,
+            "lpn": op.lpn,
+            "tenant": op.tenant,
+            "outcome": outcome,
+        },
+    }
+    if client.last_trace_id:
+        event["trace_id"] = client.last_trace_id
+    registry.record_event(event)
+
+
 async def _issue(
     client: StorageClient, tally: _Tally, op: Op, bits: int
 ) -> bool:
@@ -285,18 +317,23 @@ async def _issue(
         sub.busy += 1
         _LG_BUSY.inc()
         sub._busy_counter.inc()
+        _note_op(client, op, start, "busy")
     except ReadOnlyModeError:
         tally.errors += 1
         sub.errors += 1
         _LG_ERRORS.inc()
         sub._errors_counter.inc()
         tally.record(op.tenant, time.perf_counter() - start)
+        _note_op(client, op, start, "read_only")
         return False  # device is dead for writes; stop hammering it
     except (ReproError, ConnectionLostError):
         tally.errors += 1
         sub.errors += 1
         _LG_ERRORS.inc()
         sub._errors_counter.inc()
+        _note_op(client, op, start, "error")
+    else:
+        _note_op(client, op, start, "ok")
     tally.record(op.tenant, time.perf_counter() - start)
     return True
 

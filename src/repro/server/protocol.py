@@ -6,13 +6,13 @@ Every message — request or response — travels as one frame::
 
 Request body::
 
-    u8 opcode | u32 request_id | payload
+    u8 opcode | u32 request_id | payload [| u64 trace_id]
 
     READ  payload:  u64 lpn
     WRITE payload:  u64 lpn | u32 nbits | ceil(nbits / 8) packed data bytes
     TRIM  payload:  u64 lpn
     STAT  payload:  (empty)
-    HELLO payload:  u16 tenant
+    HELLO payload:  u16 tenant [| u16 version]
 
 Response body::
 
@@ -20,8 +20,25 @@ Response body::
 
     OK READ  payload:  u32 nbits | packed data bytes
     OK STAT  payload:  UTF-8 JSON object (device + server state)
+    OK HELLO payload:  u16 version (absent from version-0 servers)
     OK WRITE/TRIM:     (empty)
     any error status:  UTF-8 message
+
+Trace context (protocol version 1)
+----------------------------------
+Version 1 adds an *optional* trace-context field so one wire-level trace id
+stitches client issue -> admission -> batch flush -> ack across processes.
+A request carrying trace context sets the high bit of the opcode byte
+(``TRACE_FLAG``) and appends a trailing ``u64 trace_id`` after its normal
+payload; requests without the bit are wire-identical to version 0.  The
+flag makes the field self-describing, so servers decode it without
+per-connection state and old peers interoperate:
+
+* old client -> new server: 2-byte HELLO (or none), no flag bits — decodes
+  exactly as before;
+* new client -> old server: the client first sends a version-bearing HELLO;
+  an error reply (old servers reject the 4-byte payload) downgrades it to
+  version 0 and it never sets ``TRACE_FLAG`` on that connection.
 
 Page data crosses the wire bit-packed (``np.packbits``), so a 4 KB page's
 2048-bit dataword costs 256 payload bytes.  ``request_id`` is an opaque
@@ -56,6 +73,8 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTO_VERSION",
+    "TRACE_FLAG",
     "Opcode",
     "Status",
     "Request",
@@ -75,12 +94,22 @@ __all__ = [
 #: keeping a misbehaving peer from ballooning server memory.
 MAX_FRAME_BYTES = 1 << 20
 
+#: Highest protocol version this build speaks.  Version 0 is the original
+#: wire format; version 1 adds the optional trace-context field and the
+#: HELLO version exchange.
+PROTO_VERSION = 1
+
+#: High bit of the request opcode byte: "a u64 trace_id trails the payload".
+TRACE_FLAG = 0x80
+
 _LEN = struct.Struct("!I")
 _REQ_HEAD = struct.Struct("!BI")  # opcode, request_id
 _RESP_HEAD = struct.Struct("!BI")  # status, request_id
 _LPN = struct.Struct("!Q")
 _NBITS = struct.Struct("!I")
 _TENANT = struct.Struct("!H")
+_VERSION = struct.Struct("!H")
+_TRACE = struct.Struct("!Q")
 
 
 class Opcode(enum.IntEnum):
@@ -115,6 +144,8 @@ class Request:
     lpn: int = 0
     data: np.ndarray | None = None  # unpacked bits for WRITE
     tenant: int = 0                 # tenant tag for HELLO
+    version: int = 0                # protocol version offered in HELLO
+    trace_id: int = 0               # wire trace context (0 = untraced)
 
 
 @dataclass(frozen=True)
@@ -126,6 +157,7 @@ class Response:
     data: np.ndarray | None = None   # unpacked bits for OK READ
     message: str = ""                # error detail for non-OK statuses
     stat: dict = field(default_factory=dict)  # decoded JSON for OK STAT
+    version: int = 0                 # negotiated version echoed on OK HELLO
 
 
 def pack_bits(bits: np.ndarray) -> bytes:
@@ -193,7 +225,9 @@ async def read_frame(
 
 def encode_request(request: Request) -> bytes:
     """Request -> framed bytes ready to write to a stream."""
-    body = _REQ_HEAD.pack(int(request.opcode), request.request_id)
+    traced_op = request.trace_id and request.opcode is not Opcode.HELLO
+    raw_opcode = int(request.opcode) | (TRACE_FLAG if traced_op else 0)
+    body = _REQ_HEAD.pack(raw_opcode, request.request_id)
     if request.opcode in (Opcode.READ, Opcode.TRIM):
         body += _LPN.pack(request.lpn)
     elif request.opcode is Opcode.WRITE:
@@ -204,8 +238,12 @@ def encode_request(request: Request) -> bytes:
         body += pack_bits(request.data)
     elif request.opcode is Opcode.HELLO:
         body += _TENANT.pack(request.tenant)
+        if request.version:
+            body += _VERSION.pack(request.version)
     elif request.opcode is not Opcode.STAT:
         raise ProtocolError(f"unknown opcode {request.opcode!r}")
+    if traced_op:
+        body += _TRACE.pack(request.trace_id)
     return frame(body)
 
 
@@ -214,16 +252,25 @@ def decode_request(body: bytes) -> Request:
     if len(body) < _REQ_HEAD.size:
         raise ProtocolError(f"request body of {len(body)} bytes is too short")
     raw_opcode, request_id = _REQ_HEAD.unpack_from(body)
+    traced_op = bool(raw_opcode & TRACE_FLAG)
     try:
-        opcode = Opcode(raw_opcode)
+        opcode = Opcode(raw_opcode & ~TRACE_FLAG)
     except ValueError:
         raise ProtocolError(f"unknown opcode {raw_opcode}") from None
     rest = body[_REQ_HEAD.size:]
+    trace_id = 0
+    if traced_op:
+        if opcode is Opcode.HELLO:
+            raise ProtocolError("HELLO requests carry no trace context")
+        if len(rest) < _TRACE.size:
+            raise ProtocolError("trace context is truncated")
+        (trace_id,) = _TRACE.unpack(rest[-_TRACE.size:])
+        rest = rest[:-_TRACE.size]
     if opcode in (Opcode.READ, Opcode.TRIM):
         if len(rest) != _LPN.size:
             raise ProtocolError(f"{opcode.name} payload must be one u64 LPN")
         (lpn,) = _LPN.unpack(rest)
-        return Request(opcode, request_id, lpn=lpn)
+        return Request(opcode, request_id, lpn=lpn, trace_id=trace_id)
     if opcode is Opcode.WRITE:
         head = _LPN.size + _NBITS.size
         if len(rest) < head:
@@ -231,15 +278,24 @@ def decode_request(body: bytes) -> Request:
         (lpn,) = _LPN.unpack_from(rest)
         (nbits,) = _NBITS.unpack_from(rest, _LPN.size)
         data = unpack_bits(rest[head:], nbits)
-        return Request(opcode, request_id, lpn=lpn, data=data)
+        return Request(opcode, request_id, lpn=lpn, data=data,
+                       trace_id=trace_id)
     if opcode is Opcode.HELLO:
-        if len(rest) != _TENANT.size:
-            raise ProtocolError("HELLO payload must be one u16 tenant")
-        (tenant,) = _TENANT.unpack(rest)
-        return Request(opcode, request_id, tenant=tenant)
+        # 2 bytes: version-0 client.  4 bytes: tenant + offered version.
+        if len(rest) == _TENANT.size:
+            (tenant,) = _TENANT.unpack(rest)
+            return Request(opcode, request_id, tenant=tenant)
+        if len(rest) == _TENANT.size + _VERSION.size:
+            (tenant,) = _TENANT.unpack_from(rest)
+            (version,) = _VERSION.unpack_from(rest, _TENANT.size)
+            return Request(opcode, request_id, tenant=tenant,
+                           version=version)
+        raise ProtocolError(
+            "HELLO payload must be one u16 tenant (+ optional u16 version)"
+        )
     if rest:
         raise ProtocolError("STAT requests carry no payload")
-    return Request(opcode, request_id)
+    return Request(opcode, request_id, trace_id=trace_id)
 
 
 # -- responses ---------------------------------------------------------------
@@ -255,6 +311,8 @@ def encode_response(response: Response) -> bytes:
         body += _NBITS.pack(nbits) + pack_bits(response.data)
     elif response.stat:
         body += json.dumps(response.stat, sort_keys=True).encode("utf-8")
+    elif response.version:
+        body += _VERSION.pack(response.version)
     return frame(body)
 
 
@@ -284,7 +342,16 @@ def decode_response(body: bytes, expect: Opcode | None = None) -> Response:
             return Response(status, request_id, stat=json.loads(rest))
         except json.JSONDecodeError:
             raise ProtocolError("STAT payload is not valid JSON") from None
-    if expect in (Opcode.WRITE, Opcode.TRIM, Opcode.HELLO):
+    if expect is Opcode.HELLO:
+        # Version-0 servers answer HELLO with an empty body (handled by the
+        # ``not rest`` branch above); version-1 servers echo the version.
+        if len(rest) != _VERSION.size:
+            raise ProtocolError(
+                "HELLO response payload must be one u16 version"
+            )
+        (version,) = _VERSION.unpack(rest)
+        return Response(status, request_id, version=version)
+    if expect in (Opcode.WRITE, Opcode.TRIM):
         raise ProtocolError(f"{expect.name} responses carry no payload")
     if len(rest) < _NBITS.size:
         raise ProtocolError("READ payload is truncated")

@@ -32,6 +32,8 @@ from repro.experiments.pool import run_cells
 from repro.flash.geometry import FlashGeometry
 from repro.obs import registry as _metrics
 from repro.obs.export import write_metrics, write_trace
+from repro.obs.http import ObsHttpServer
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.server.bench import ServerBenchCell, ServerBenchResult
 from repro.server.loadgen import (
     WORKLOADS,
@@ -103,6 +105,56 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "(implies telemetry collection)")
 
 
+def _add_obs_http_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "telemetry plane", "live HTTP scrape/health sidecar (off by default)"
+    )
+    group.add_argument("--obs-port", type=int, default=None, metavar="PORT",
+                       help="expose /metrics, /healthz, /readyz, /traces and "
+                            "/debug/vars on this HTTP port (0 = ephemeral; "
+                            "implies telemetry collection)")
+    group.add_argument("--obs-host", default="127.0.0.1",
+                       help="bind address for the sidecar "
+                            "(default %(default)s)")
+    group.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                       help="head-based sampling: keep every Nth top-level "
+                            "span (default 1 = keep all)")
+    group.add_argument("--slo-availability", type=float, default=0.999,
+                       metavar="FRAC",
+                       help="availability SLO target (default %(default)s)")
+    group.add_argument("--slo-latency-ms", type=float, default=100.0,
+                       metavar="MS",
+                       help="request latency counted 'good' under this "
+                            "(default %(default)s)")
+    group.add_argument("--slo-latency-target", type=float, default=0.99,
+                       metavar="FRAC",
+                       help="fraction of requests that must be under "
+                            "--slo-latency-ms (default %(default)s)")
+
+
+def _validate_obs_args(args: argparse.Namespace) -> None:
+    """Reject bad telemetry knobs up front, even with the sidecar off.
+
+    Without this an SLO target typo would only surface once --obs-port
+    builds the tracker — or never, silently, when the sidecar is off.
+    """
+    if getattr(args, "trace_sample", 1) < 1:
+        raise ConfigurationError(
+            f"--trace-sample must be >= 1, got {args.trace_sample}"
+        )
+    port = getattr(args, "obs_port", None)
+    if port is not None and not 0 <= port <= 65535:
+        raise ConfigurationError(
+            f"--obs-port must lie in [0, 65535], got {port}"
+        )
+    if hasattr(args, "slo_availability"):
+        SLOConfig(
+            availability_target=args.slo_availability,
+            latency_threshold_s=args.slo_latency_ms / 1000.0,
+            latency_target=args.slo_latency_target,
+        )
+
+
 def _scheme_kwargs(args: argparse.Namespace) -> dict:
     if args.scheme.startswith("mfc") and args.scheme != "mfc-ecc":
         return {"constraint_length": args.constraint_length}
@@ -165,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_server_args(serve)
     _add_durability_args(serve)
     _add_obs_args(serve)
+    _add_obs_http_args(serve)
 
     bench = commands.add_parser(
         "bench", help="drive a server with the load generator"
@@ -210,9 +263,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_obs_args(bench)
 
     args = parser.parse_args(argv)
-    if args.metrics_out or args.trace_out:
+    if (
+        args.metrics_out
+        or args.trace_out
+        or getattr(args, "obs_port", None) is not None
+    ):
         _metrics.set_enabled(True)
     try:
+        _validate_obs_args(args)
+        if getattr(args, "trace_sample", 1) > 1:
+            _metrics.get_registry().trace_sample_every = args.trace_sample
         if args.command == "serve":
             code = asyncio.run(_serve(args))
         else:
@@ -246,6 +306,47 @@ async def _serve(args: argparse.Namespace) -> int:
         read_manifest(store.data_dir)
     service = StorageService(ssd, _server_config(args), store=store)
     await service.start(host=args.host, port=args.port)
+    obs_server = None
+    if args.obs_port is not None:
+        slo = SLOTracker(SLOConfig(
+            availability_target=args.slo_availability,
+            latency_threshold_s=args.slo_latency_ms / 1000.0,
+            latency_target=args.slo_latency_target,
+        ))
+
+        def _collect_durability() -> None:
+            if store is not None:
+                _metrics.gauge("durability.fsync_lag_seconds").set(
+                    store.fsync_lag_seconds
+                )
+
+        def _debug_vars() -> dict:
+            return {
+                "scheme": ssd.scheme_name,
+                "logical_pages": ssd.logical_pages,
+                "dataword_bits": ssd.logical_page_bits,
+                "config": {
+                    "max_batch": args.max_batch,
+                    "queue_depth": args.queue_depth,
+                    "credit_window": args.credit_window,
+                    "tenant_credit_window": args.tenant_credit_window,
+                    "admission": args.admission,
+                    "data_dir": args.data_dir,
+                },
+            }
+
+        obs_server = ObsHttpServer(
+            service=service,
+            slo=slo,
+            debug_vars=_debug_vars,
+            collectors=(_collect_durability,),
+        )
+        await obs_server.start(host=args.obs_host, port=args.obs_port)
+        print(
+            f"telemetry plane on http://{args.obs_host}:{obs_server.port} "
+            "(/metrics /healthz /readyz /traces /debug/vars)",
+            flush=True,
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -268,6 +369,8 @@ async def _serve(args: argparse.Namespace) -> int:
             print(report.summary(), flush=True)
         await stop.wait()
     finally:
+        if obs_server is not None:
+            await obs_server.stop()
         await service.stop()
         if store is not None:
             if store.ready:

@@ -66,6 +66,7 @@ serving path.
 from __future__ import annotations
 
 import asyncio
+import os as _os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -87,7 +88,13 @@ from repro.obs import registry as _metrics
 from repro.obs.registry import TIME_BUCKETS
 from repro.obs.tracing import span as _span
 from repro.server import protocol
-from repro.server.protocol import Opcode, Request, Response, Status
+from repro.server.protocol import (
+    PROTO_VERSION,
+    Opcode,
+    Request,
+    Response,
+    Status,
+)
 from repro.ssd.device import SSD
 
 __all__ = ["ServerConfig", "ServerStats", "StorageService"]
@@ -108,6 +115,11 @@ _QUEUE_DEPTH = _metrics.gauge("server.queue_depth")
 BATCH_BUCKETS = tuple(float(2**k) for k in range(9))
 _BATCH_SIZE = _metrics.histogram("server.batch_size", BATCH_BUCKETS)
 _LATENCY = _metrics.histogram("server.request_seconds", TIME_BUCKETS)
+_QUEUE_WAIT = _metrics.histogram("server.queue_wait_seconds", TIME_BUCKETS)
+
+#: Most trace ids attached to one batch-level span (flush, fsync); larger
+#: batches record a truncated list plus the true batch size.
+_SPAN_TRACE_IDS = 32
 
 _OP_COUNTERS = {
     Opcode.READ: _READS,
@@ -408,8 +420,13 @@ class StorageService:
                     conn.tenant = request.tenant
                     self.stats.hellos += 1
                     self._tenant(request.tenant)["connections"] += 1
+                    # Version negotiation: echo min(offered, ours).  A
+                    # version-0 HELLO gets the original empty reply, so old
+                    # clients never see bytes they cannot decode.
+                    negotiated = min(request.version, PROTO_VERSION)
                     conn.respond(protocol.encode_response(
-                        Response(Status.OK, request.request_id)
+                        Response(Status.OK, request.request_id,
+                                 version=negotiated)
                     ))
                     continue
                 await self._admit(conn, request)
@@ -568,6 +585,38 @@ class StorageService:
 
     # -- device-side execution (runs on the single worker thread) ------------
 
+    def _note_queue_wait(self, op: _Op) -> None:
+        """Record how long one op sat queued before the device touched it.
+
+        Always feeds the ``server.queue_wait_seconds`` histogram; wire-traced
+        requests additionally get a ``server.queue_wait`` trace event so the
+        client's trace id covers its admission delay.
+        """
+        registry = _metrics.get_registry()
+        if not registry.enabled:
+            return
+        waited = time.perf_counter() - op.arrival
+        _QUEUE_WAIT.observe(waited)
+        trace_id = op.request.trace_id
+        if trace_id:
+            registry.record_event({
+                "name": "server.queue_wait",
+                "span_id": registry.next_span_id(),
+                "parent_id": None,
+                "pid": _os.getpid(),
+                "ts": time.time(),
+                "dur": waited,
+                "trace_id": trace_id,
+                "attrs": {"op": op.request.opcode.name,
+                          "lpn": op.request.lpn},
+            })
+
+    @staticmethod
+    def _batch_trace_ids(ops: list[_Op]) -> list[int]:
+        """The wire trace ids present in a batch (bounded; see _SPAN_TRACE_IDS)."""
+        ids = [op.request.trace_id for op in ops if op.request.trace_id]
+        return ids[:_SPAN_TRACE_IDS]
+
     def _execute_write_batch(self, batch: list[_Op]) -> list[tuple[_Op, bytes]]:
         """Flush a contiguous run of WRITEs as one coalesced device call."""
         self.stats.batches += 1
@@ -581,7 +630,12 @@ class StorageService:
         logical_pages = self.ssd.logical_pages
         results: dict[int, Response] = {}
         lanes: list[_Op] = []
-        with _span("server.flush", batch=len(batch)) as flush_event:
+        for op in batch:
+            self._note_queue_wait(op)
+        batch_traces = self._batch_trace_ids(batch)
+        with _span(
+            "server.flush", batch=len(batch), trace_ids=batch_traces
+        ) as flush_event:
             for op in batch:
                 request = op.request
                 if not 0 <= request.lpn < logical_pages:
@@ -634,7 +688,7 @@ class StorageService:
                             Status.OK, op.request.request_id
                         )
             if self.store is not None:
-                self._commit_batch()
+                self._commit_batch(batch_traces)
             replies = []
             ok = 0
             for op in batch:
@@ -647,23 +701,27 @@ class StorageService:
                 with _span(
                     "server.request", op="WRITE", lpn=op.request.lpn,
                     status=response.status.name,
+                    trace_id=op.request.trace_id or None,
                 ):
                     replies.append((op, protocol.encode_response(response)))
             if flush_event is not None:
                 flush_event["attrs"]["ok"] = ok
         return replies
 
-    def _commit_batch(self) -> None:
+    def _commit_batch(self, trace_ids: list[int] | None = None) -> None:
         """Group-commit the journal and let the checkpoint cadence run.
 
         Runs on the device thread after applying a flush and before its
         replies are released — the commit-before-acknowledge half of the
         write-ahead contract.  The end-of-life latch is journaled here too,
-        so replay re-latches a dead device before serving it.
+        so replay re-latches a dead device before serving it.  The fsync is
+        spanned with the batch's wire trace ids, so a client trace reaches
+        all the way to the durability boundary.
         """
         if self.ssd.read_only:
             self.store.note_read_only()
-        self.store.commit()
+        with _span("durability.fsync", trace_ids=trace_ids or []):
+            self.store.commit()
         self.store.maybe_checkpoint(self.ssd)
 
     def _execute_one(self, op: _Op) -> list[tuple[_Op, bytes]]:
@@ -674,16 +732,20 @@ class StorageService:
             and request.opcode is Opcode.TRIM
             and 0 <= request.lpn < self.ssd.logical_pages
         )
+        self._note_queue_wait(op)
         if journaled:
             self.store.journal_trim(request.lpn)
         with _span(
-            "server.request", op=request.opcode.name, lpn=request.lpn
+            "server.request", op=request.opcode.name, lpn=request.lpn,
+            trace_id=request.trace_id or None,
         ) as event:
             response = self._apply(request)
             if event is not None:
                 event["attrs"]["status"] = response.status.name
         if journaled:
-            self._commit_batch()
+            self._commit_batch(
+                [request.trace_id] if request.trace_id else []
+            )
         if response.status is not Status.OK:
             self.stats.errors += 1
             _ERRORS.inc()
@@ -710,6 +772,44 @@ class StorageService:
         except ReproError as exc:
             return Response(Status.INTERNAL, request.request_id,
                             message=str(exc))
+
+    def health(self) -> dict:
+        """Typed health summary for the obs sidecar's ``/healthz``/``/readyz``.
+
+        Built from serving-layer state plus cheap device attribute reads;
+        while recovery owns the device thread the SSD itself is left alone
+        (same discipline as :meth:`_recovering_stat`).
+        """
+        recovering = self._recovering
+        info: dict = {
+            "status": "recovering" if recovering else "ok",
+            "recovering": recovering,
+            "read_only": False,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "connections": len(self._connections),
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "rejected": self.stats.rejected,
+        }
+        if not recovering:
+            info["read_only"] = bool(self.ssd.read_only)
+            info["lifetime_state"] = self.ssd.lifetime_state
+            if info["read_only"]:
+                info["status"] = "read_only"
+        if self.tenant_stats:
+            info["tenants"] = {
+                str(tenant): {
+                    "requests": bucket["requests"],
+                    "busy_rejected": bucket["busy_rejected"],
+                }
+                for tenant, bucket in sorted(self.tenant_stats.items())
+            }
+        if self.store is not None:
+            info["durability"] = {
+                "fsync_lag_seconds": self.store.fsync_lag_seconds,
+                "recovery_progress": self.store.recovery_progress,
+            }
+        return info
 
     def _recovering_stat(self) -> dict:
         """STAT payload served while recovery owns the device thread.

@@ -18,9 +18,11 @@ def _isolated_metrics_registry() -> None:
     """
     registry = obs_registry.get_registry()
     registry.enabled = False
+    registry.trace_sample_every = 1
     registry.reset()
     yield
     registry.enabled = False
+    registry.trace_sample_every = 1
     registry.reset()
 
 

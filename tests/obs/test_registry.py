@@ -167,6 +167,30 @@ class TestResetAndEvents:
         assert registry.counter("ftl.host_writes").value == 9
         assert registry.counter("ftl.gc_runs").value == 2
 
+    def test_ring_buffer_evicts_oldest_first(self):
+        registry = obs.MetricsRegistry(enabled=True, max_events=3)
+        for index in range(5):
+            registry.record_event({"name": f"e{index}"})
+        # FIFO eviction: the two oldest events fell off the front.
+        assert [event["name"] for event in registry.events] == [
+            "e2", "e3", "e4",
+        ]
+
+    def test_recent_events_limit_and_trace_filter(self, registry):
+        registry.record_event({"name": "a", "trace_id": 1})
+        registry.record_event({"name": "b", "trace_id": 2})
+        registry.record_event({"name": "c", "attrs": {"trace_ids": [1, 3]}})
+        registry.record_event({"name": "d"})
+        assert [e["name"] for e in registry.recent_events(limit=2)] == [
+            "c", "d",
+        ]
+        # Direct trace_id matches and batch-attr containment both count.
+        assert [e["name"] for e in registry.recent_events(trace_id=1)] == [
+            "a", "c",
+        ]
+        assert registry.recent_events(trace_id=9) == []
+
+
 
 class TestDefaultRegistry:
     def test_module_helpers_hit_the_default_registry(self):

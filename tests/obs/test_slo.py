@@ -1,0 +1,147 @@
+"""Unit tests for the multi-window SLO burn-rate tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import TIME_BUCKETS, MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOTracker
+
+
+class _Clock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+def make_tracker(registry, **config):
+    clock = _Clock()
+    tracker = SLOTracker(
+        config=SLOConfig(**config), registry=registry, clock=clock
+    )
+    return tracker, clock
+
+
+def serve(registry, requests=0, errors=0, fast=0, slow=0):
+    """Simulate served traffic: counters plus the latency histogram."""
+    registry.counter("server.requests").inc(requests)
+    registry.counter("server.errors").inc(errors)
+    hist = registry.histogram("server.request_seconds", TIME_BUCKETS)
+    for _ in range(fast):
+        hist.observe(0.001)
+    for _ in range(slow):
+        hist.observe(5.0)
+
+
+class TestConfig:
+    def test_rejects_targets_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            SLOConfig(availability_target=1.0)
+        with pytest.raises(ConfigurationError):
+            SLOConfig(latency_target=0.0)
+
+    def test_rejects_bad_threshold_and_windows(self):
+        with pytest.raises(ConfigurationError):
+            SLOConfig(latency_threshold_s=0)
+        with pytest.raises(ConfigurationError):
+            SLOConfig(windows=())
+
+
+class TestBurnRates:
+    def test_no_traffic_means_zero_burn(self, registry):
+        tracker, _ = make_tracker(registry)
+        statuses = tracker.update()
+        assert statuses["availability"].burn == {"fast": 0.0, "slow": 0.0}
+        assert not statuses["availability"].burning
+        assert statuses["availability"].compliance == 1.0
+
+    def test_error_free_traffic_burns_nothing(self, registry):
+        tracker, clock = make_tracker(registry)
+        tracker.update()
+        serve(registry, requests=100, fast=100)
+        clock.advance(10)
+        statuses = tracker.update()
+        assert statuses["availability"].burn["fast"] == 0.0
+        assert statuses["latency"].burn["fast"] == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self, registry):
+        # 10% errors against a 99.9% target: burn = 0.1 / 0.001 = 100.
+        tracker, clock = make_tracker(registry, availability_target=0.999)
+        tracker.update()
+        serve(registry, requests=100, errors=10)
+        clock.advance(10)
+        statuses = tracker.update()
+        assert statuses["availability"].burn["fast"] == pytest.approx(100.0)
+
+    def test_burning_requires_all_windows(self, registry):
+        # One hot burst inside the fast window only: the slow window has no
+        # far-edge sample yet, so both windows see the same delta and burn.
+        tracker, clock = make_tracker(registry)
+        tracker.update()
+        serve(registry, requests=100, errors=50)
+        clock.advance(10)
+        statuses = tracker.update()
+        assert statuses["availability"].burning
+
+        # Quiet for > the fast window: the fast burn decays to 0, so the
+        # multi-window AND suppresses the alert even though the slow window
+        # still remembers the burst.
+        clock.advance(400)
+        statuses = tracker.update()
+        assert statuses["availability"].burn["fast"] == 0.0
+        assert statuses["availability"].burn["slow"] > 0.0
+        assert not statuses["availability"].burning
+
+    def test_latency_slo_counts_threshold_breaches(self, registry):
+        tracker, clock = make_tracker(
+            registry, latency_threshold_s=0.1, latency_target=0.99
+        )
+        tracker.update()
+        serve(registry, requests=100, fast=90, slow=10)
+        clock.advance(10)
+        statuses = tracker.update()
+        # 10% of observations over threshold / 1% budget = burn 10.
+        assert statuses["latency"].burn["fast"] == pytest.approx(10.0)
+
+    def test_samples_are_pruned_past_the_horizon(self, registry):
+        tracker, clock = make_tracker(registry)
+        for _ in range(50):
+            clock.advance(300)
+            tracker.update()
+        # One hour horizon at one sample per 300 s: about a dozen retained.
+        assert len(tracker._samples) < 20
+
+
+class TestPublication:
+    def test_gauges_land_in_registry(self, registry):
+        tracker, clock = make_tracker(registry, availability_target=0.99)
+        tracker.update()
+        serve(registry, requests=10, errors=5)
+        clock.advance(5)
+        tracker.update()
+        assert registry.gauge("slo.availability.target").value == 0.99
+        assert registry.gauge("slo.availability.burn_rate_fast").value > 0
+        assert registry.gauge("slo.availability.burning").value == 1.0
+
+    def test_status_is_json_friendly(self, registry):
+        import json
+
+        tracker, _ = make_tracker(registry)
+        payload = tracker.status()
+        text = json.dumps(payload)
+        assert "availability" in text and "latency" in text
+        assert payload["availability"]["compliance"] == 1.0
+        assert payload["latency"]["burning"] is False

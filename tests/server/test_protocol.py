@@ -183,3 +183,89 @@ class TestFraming:
             return first, second, third
 
         assert asyncio.run(go()) == (b"one", b"two", None)
+
+
+class TestTraceContext:
+    def test_traced_ops_round_trip(self) -> None:
+        trace_id = 0xDEADBEEF12345678
+        for opcode, kwargs in (
+            (Opcode.READ, {"lpn": 7}),
+            (Opcode.WRITE, {"lpn": 3, "data": _bits(36)}),
+            (Opcode.TRIM, {"lpn": 1}),
+            (Opcode.STAT, {}),
+        ):
+            request = Request(opcode, 11, trace_id=trace_id, **kwargs)
+            back = protocol.decode_request(
+                _body(protocol.encode_request(request))
+            )
+            assert back.opcode is opcode
+            assert back.trace_id == trace_id
+
+    def test_untraced_ops_are_wire_identical_to_v0(self) -> None:
+        traced = protocol.encode_request(Request(Opcode.READ, 1, lpn=2,
+                                                 trace_id=99))
+        plain = protocol.encode_request(Request(Opcode.READ, 1, lpn=2))
+        assert len(traced) == len(plain) + 8
+        assert _body(plain)[0] & protocol.TRACE_FLAG == 0
+        assert _body(traced)[0] & protocol.TRACE_FLAG
+
+    def test_truncated_trace_id_rejected(self) -> None:
+        wire = _body(protocol.encode_request(
+            Request(Opcode.READ, 1, lpn=2, trace_id=99)
+        ))
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(wire[:-3])
+
+    def test_hello_must_not_carry_trace_context(self) -> None:
+        # The encoder never sets the flag on HELLO...
+        wire = _body(protocol.encode_request(
+            Request(Opcode.HELLO, 1, tenant=0, trace_id=99)
+        ))
+        assert wire[0] & protocol.TRACE_FLAG == 0
+        # ...and the decoder rejects a hand-forged one.
+        forged = bytes([wire[0] | protocol.TRACE_FLAG]) + wire[1:] + b"\0" * 8
+        with pytest.raises(ProtocolError, match="HELLO"):
+            protocol.decode_request(forged)
+
+
+class TestVersionNegotiation:
+    def test_v1_hello_round_trips_tenant_and_version(self) -> None:
+        request = Request(Opcode.HELLO, 4, tenant=3,
+                          version=protocol.PROTO_VERSION)
+        back = protocol.decode_request(_body(protocol.encode_request(request)))
+        assert back.tenant == 3
+        assert back.version == protocol.PROTO_VERSION
+
+    def test_v0_hello_is_still_two_bytes(self) -> None:
+        wire = _body(protocol.encode_request(
+            Request(Opcode.HELLO, 4, tenant=2, version=0)
+        ))
+        assert len(wire) == 1 + 4 + 2  # opcode + request_id + u16 tenant
+        back = protocol.decode_request(wire)
+        assert back.tenant == 2 and back.version == 0
+
+    def test_hello_with_odd_payload_rejected(self) -> None:
+        good = _body(protocol.encode_request(
+            Request(Opcode.HELLO, 4, tenant=2, version=1)
+        ))
+        with pytest.raises(ProtocolError, match="HELLO"):
+            protocol.decode_request(good + b"\0")
+
+    def test_ok_hello_response_echoes_version(self) -> None:
+        back = protocol.decode_response(
+            _body(protocol.encode_response(Response(Status.OK, 7, version=1))),
+            expect=Opcode.HELLO,
+        )
+        assert back.version == 1
+
+    def test_empty_hello_response_means_v0_server(self) -> None:
+        back = protocol.decode_response(
+            _body(protocol.encode_response(Response(Status.OK, 7))),
+            expect=Opcode.HELLO,
+        )
+        assert back.version == 0
+
+    def test_hello_response_with_junk_payload_rejected(self) -> None:
+        body = _body(protocol.encode_response(Response(Status.OK, 7, version=1)))
+        with pytest.raises(ProtocolError, match="HELLO"):
+            protocol.decode_response(body + b"\0", expect=Opcode.HELLO)

@@ -98,3 +98,18 @@ class TestServeCli:
         code = main(["serve", "--utilization", "0.0"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [
+        ("--trace-sample", "0"),
+        ("--obs-port", "-1"),
+        ("--obs-port", "70000"),
+        ("--slo-availability", "1.5"),
+        ("--slo-latency-ms", "0"),
+        ("--slo-latency-target", "0"),
+    ])
+    def test_bad_obs_knob_exits_2(self, capsys, flags) -> None:
+        # The telemetry knobs must fail fast even without --obs-port —
+        # a typo'd SLO target silently ignored is worse than a refusal.
+        code = main(["serve", *flags])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
