@@ -1,0 +1,57 @@
+"""Sharded multi-device cluster serving with Redundancy-K failover.
+
+Scales :mod:`repro.server` from one simulated SSD behind one event loop
+to N shard worker *processes* plus a cluster-aware router:
+
+* :mod:`repro.cluster.ring` — consistent-hash ring with virtual nodes
+  partitioning the logical block space; membership changes move a
+  minimal key fraction.
+* :mod:`repro.cluster.router` — :class:`ClusterClient` fans READ/WRITE/
+  TRIM to owner shards over the v1 wire protocol, acknowledges writes
+  after K durable replicas, fails reads over to surviving replicas, and
+  rebuilds a dead or read-only shard's range in the background.
+* :mod:`repro.cluster.shard` / :mod:`repro.cluster.supervisor` — shard
+  worker subprocess lifecycle and fleet control (state files for
+  out-of-process tooling).
+* :mod:`repro.cluster.obs` — cluster-wide ``/metrics`` + ``/healthz``
+  merging every shard's sidecar with ``shard="N"`` labels.
+* :mod:`repro.cluster.loadgen` — closed-loop load generation through
+  the router, result-compatible with the single-device bench.
+
+The replication shape follows the paper's Redundancy-K construction:
+a device that exhausts its rewrite budget degrades to read-only instead
+of failing, replicas absorb the writes, and a rebuild restores the
+replication factor — the same graceful-degradation philosophy the
+rewriting codes apply at cell granularity, lifted to fleet granularity.
+
+CLI::
+
+    python -m repro.cluster serve --shards 3 --redundancy 2
+    python -m repro.cluster bench --shards 3 --clients 16 --ops 200
+"""
+
+from repro.cluster.loadgen import cluster_closed_loop, run_cluster_closed_loop
+from repro.cluster.obs import ClusterObsServer
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterClient, ShardState
+from repro.cluster.shard import ShardProcess, ShardSpec
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    endpoints_from_state,
+    read_state_file,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "ClusterClient",
+    "ClusterObsServer",
+    "ClusterSupervisor",
+    "HashRing",
+    "ShardProcess",
+    "ShardSpec",
+    "ShardState",
+    "cluster_closed_loop",
+    "endpoints_from_state",
+    "read_state_file",
+    "run_cluster_closed_loop",
+]

@@ -1,0 +1,278 @@
+"""Cluster-wide telemetry: shard-labelled ``/metrics`` and fleet health.
+
+Every shard worker already runs its own
+:class:`~repro.obs.http.ObsHttpServer` sidecar.  This module rolls the
+fleet up into one scrape surface: :class:`ClusterObsServer` periodically
+pulls each shard's ``/metrics`` and ``/healthz``, rewrites every sample
+with a ``shard="N"`` label (so ``repro_server_requests{shard="2"}``
+distinguishes workers the way PR 4's tenant labels distinguish tenants),
+merges the families into one exposition text alongside the router
+process's own ``repro_cluster_*`` instruments, and serves the result on
+the standard sidecar endpoints.
+
+The scrape cache refreshes on a background task, not per request: the
+sidecar's request handlers are synchronous by design (they must never
+block the event loop on a slow shard), so ``/metrics`` serves the most
+recent completed sweep and ``/healthz`` reports each shard's last known
+state plus how stale it is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+
+from repro.errors import ClusterError
+from repro.obs import registry as _metrics
+from repro.obs.export import to_prometheus
+from repro.obs.http import ObsHttpServer
+
+__all__ = [
+    "ClusterObsServer",
+    "fetch",
+    "merge_prometheus",
+    "relabel_metrics",
+]
+
+#: One exposition sample line: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+
+_SCRAPE_ERRORS = _metrics.counter("cluster.obs.scrape_errors")
+
+
+async def fetch(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> tuple[int, bytes]:
+    """Minimal HTTP GET against a shard sidecar; (status, body)."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (asyncio.TimeoutError, OSError) as exc:
+        raise ClusterError(
+            f"cannot reach http://{host}:{port}{path}: {exc}"
+        ) from None
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+        raise ClusterError(
+            f"scrape of http://{host}:{port}{path} failed: {exc}"
+        ) from None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    try:
+        status = int(head.split(b"\r\n", 1)[0].split()[1])
+    except (IndexError, ValueError):
+        raise ClusterError(
+            f"malformed HTTP reply from http://{host}:{port}{path}"
+        ) from None
+    return status, body
+
+
+def relabel_metrics(text: str, shard: int) -> str:
+    """Inject ``shard="N"`` into every sample of one shard's exposition."""
+    out: list[str] = []
+    label = f'shard="{shard}"'
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            out.append(line)  # pass unknown lines through untouched
+            continue
+        name, labels, value = match.groups()
+        if labels:
+            merged = "{" + label + "," + labels[1:]
+        else:
+            merged = "{" + label + "}"
+        out.append(f"{name}{merged} {value}")
+    return "\n".join(out)
+
+
+def merge_prometheus(texts: list[str]) -> str:
+    """Merge exposition texts into one, with a single TYPE line per family.
+
+    Prometheus requires all samples of a family to sit together under one
+    ``# TYPE`` comment; concatenating shard dumps naively would repeat
+    the comment per shard and interleave families.  Families keep
+    first-seen order; samples keep per-shard order within a family.
+    """
+    kinds: dict[str, str] = {}
+    samples: dict[str, list[str]] = {}
+    order: list[str] = []
+
+    def family_of(name: str) -> str:
+        # Histogram series share their family's TYPE line.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in kinds:
+                return name[: -len(suffix)]
+        return name
+
+    for text in texts:
+        for line in text.splitlines():
+            if not line:
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name, kind = type_match.groups()
+                if name not in kinds:
+                    kinds[name] = kind
+                    samples[name] = []
+                    order.append(name)
+                continue
+            if line.startswith("#"):
+                continue
+            sample = _SAMPLE_RE.match(line)
+            if sample is None:
+                continue
+            family = family_of(sample.group(1))
+            if family not in kinds:
+                kinds[family] = "untyped"
+                samples[family] = []
+                order.append(family)
+            samples[family].append(line)
+
+    lines: list[str] = []
+    for name in order:
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        lines.extend(samples[name])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ClusterObsServer(ObsHttpServer):
+    """Fleet-wide scrape/health sidecar over per-shard obs endpoints.
+
+    ``targets`` maps shard id -> its sidecar ``(host, port)``.  The
+    local process registry (the router's ``cluster.*`` instruments) is
+    always exported live and unlabelled; shard dumps come from the
+    latest background sweep, each sample tagged ``shard="N"``.
+    """
+
+    def __init__(
+        self,
+        targets: dict[int, tuple[str, int]],
+        *,
+        refresh_seconds: float = 2.0,
+        scrape_timeout: float = 5.0,
+        debug_vars=None,
+    ) -> None:
+        super().__init__(debug_vars=debug_vars)
+        self.targets = dict(targets)
+        self.refresh_seconds = refresh_seconds
+        self.scrape_timeout = scrape_timeout
+        self._shard_metrics: dict[int, str] = {}
+        self._shard_health: dict[int, dict] = {}
+        self._last_sweep = 0.0
+        self._refresh_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        await super().start(host=host, port=port)
+        await self.refresh()  # serve real data from the first request on
+        self._refresh_task = asyncio.ensure_future(self._refresh_loop())
+
+    async def stop(self) -> None:
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            try:
+                await self._refresh_task
+            except asyncio.CancelledError:
+                pass
+            self._refresh_task = None
+        await super().stop()
+
+    async def _refresh_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.refresh_seconds)
+            await self.refresh()
+
+    async def refresh(self) -> None:
+        """One sweep: scrape every shard's /metrics and /healthz."""
+        for shard, (host, port) in self.targets.items():
+            try:
+                status, body = await fetch(
+                    host, port, "/metrics", timeout=self.scrape_timeout
+                )
+                if status != 200:
+                    raise ClusterError(f"/metrics returned {status}")
+                self._shard_metrics[shard] = relabel_metrics(
+                    body.decode("utf-8", "replace"), shard
+                )
+                status, body = await fetch(
+                    host, port, "/healthz", timeout=self.scrape_timeout
+                )
+                health = json.loads(body) if status == 200 else {}
+                health["reachable"] = True
+                self._shard_health[shard] = health
+            except ClusterError:
+                _SCRAPE_ERRORS.inc()
+                self._shard_health[shard] = {
+                    "status": "unreachable", "reachable": False,
+                }
+        self._last_sweep = time.time()
+
+    # -- endpoint overrides --------------------------------------------------
+
+    def _metrics(self):
+        for collect in self._collectors:
+            collect()
+        local = to_prometheus(self.registry.snapshot(include_events=False))
+        merged = merge_prometheus(
+            [local]
+            + [self._shard_metrics[s] for s in sorted(self._shard_metrics)]
+        )
+        return 200, "text/plain; version=0.0.4", merged.encode("utf-8")
+
+    def _health_state(self) -> dict:
+        shards = {
+            str(shard): self._shard_health.get(
+                shard, {"status": "unknown", "reachable": False}
+            )
+            for shard in self.targets
+        }
+        unreachable = [
+            shard for shard, health in shards.items()
+            if not health.get("reachable")
+        ]
+        read_only = [
+            shard for shard, health in shards.items()
+            if health.get("read_only")
+        ]
+        recovering = [
+            shard for shard, health in shards.items()
+            if health.get("recovering")
+        ]
+        status = "ok"
+        if unreachable or read_only:
+            status = "degraded"
+        if len(unreachable) == len(self.targets) and self.targets:
+            status = "down"
+        return {
+            "status": status,
+            "shards": shards,
+            "shards_total": len(self.targets),
+            "shards_unreachable": len(unreachable),
+            # /readyz folds these into the standard reason list.
+            "recovering": bool(recovering),
+            "read_only": bool(self.targets) and not any(
+                health.get("reachable") and not health.get("read_only")
+                for health in shards.values()
+            ),
+            "last_sweep_age_seconds": (
+                time.time() - self._last_sweep if self._last_sweep else None
+            ),
+        }

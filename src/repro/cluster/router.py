@@ -1,0 +1,497 @@
+"""Cluster-aware router: fan READ/WRITE/TRIM to owner shards with failover.
+
+The :class:`ClusterClient` is the cluster's data plane.  It holds one
+pipelined :class:`~repro.server.client.StorageClient` per shard and maps
+every logical page number onto the shard set the
+:class:`~repro.cluster.ring.HashRing` assigns it:
+
+* **Writes** go to the first ``redundancy`` ring owners and acknowledge
+  only once every targeted replica acknowledged durably.  When an owner
+  fails mid-write (dead connection, device latched read-only) the router
+  re-walks the ring over the remaining writable shards, so the write
+  still lands on ``redundancy`` replicas whenever that many healthy
+  shards exist — and acknowledges *degraded* (counted in
+  ``cluster.degraded_writes``) only when the whole cluster cannot host
+  that many.
+* **Reads** prefer the primary owner and fail over down the replica list
+  (``cluster.failover_reads``).  The router remembers, per LPN, exactly
+  which shards acknowledged the *latest* write — the replica map — so a
+  read is never served from a shard holding a stale version (a replica
+  that missed a degraded write, or a rebuild target mid-copy).
+* **Shard failure** flips the shard's :class:`ShardState` (UP ->
+  READ_ONLY on an end-of-life device, UP -> DOWN on a dead connection)
+  and schedules a background **rebuild**: every tracked LPN whose
+  healthy-replica count dropped below the redundancy target is re-copied
+  from a surviving replica onto the ring's replacement owners
+  (``cluster.rebuild_pages_copied``, ``cluster.rebuilds_completed``).
+  READ_ONLY shards keep serving reads — including as rebuild sources —
+  exactly like the paper's end-of-life devices keep their data readable.
+
+Consistency model: read-your-acknowledged-writes per LPN, enforced by a
+per-LPN asyncio lock held across a write's replica fan-out and across
+each rebuild copy, plus the replica map.  Cross-LPN ordering is not
+promised (writes to different LPNs race freely, as on one server).
+
+Trace ids propagate end-to-end: one wire trace id is minted per logical
+operation and stamped on every replica request it fans out into, so a
+single ``trace_id`` query on any shard's ``/traces`` endpoint shows the
+whole cross-shard operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import (
+    ClusterError,
+    ConfigurationError,
+    ConnectionLostError,
+    LogicalAddressError,
+    ProtocolError,
+    ReadOnlyModeError,
+    UncorrectableReadError,
+)
+from repro.obs import registry as _metrics
+from repro.obs.tracing import new_trace_id
+from repro.server.client import DEFAULT_CONNECT_TIMEOUT, StorageClient
+
+__all__ = ["ShardState", "ClusterClient"]
+
+_READS = _metrics.counter("cluster.reads")
+_WRITES = _metrics.counter("cluster.writes")
+_TRIMS = _metrics.counter("cluster.trims")
+_REPLICA_WRITES = _metrics.counter("cluster.replica_writes")
+_FAILOVER_READS = _metrics.counter("cluster.failover_reads")
+_DEGRADED_WRITES = _metrics.counter("cluster.degraded_writes")
+_SHARD_DOWN = _metrics.counter("cluster.shard_down_total")
+_SHARD_READ_ONLY = _metrics.counter("cluster.shard_read_only_total")
+_REBUILD_PAGES = _metrics.counter("cluster.rebuild_pages_copied")
+_REBUILDS_DONE = _metrics.counter("cluster.rebuilds_completed")
+_SHARDS_UP = _metrics.gauge("cluster.shards_up")
+
+
+class ShardState(enum.Enum):
+    """Router-side view of one shard's health."""
+
+    UP = "up"                # serving reads and writes
+    READ_ONLY = "read_only"  # device end-of-life: reads only
+    DOWN = "down"            # unreachable: nothing
+
+
+#: Errors that mean "this shard's connection is gone", not "this request
+#: was bad" — they flip the shard DOWN and trigger failover + rebuild.
+_SHARD_DEAD_ERRORS = (ConnectionLostError, ProtocolError, OSError)
+
+
+class ClusterClient:
+    """Route reads/writes across a shard fleet with Redundancy-K replicas.
+
+    Build one with :meth:`connect`, passing the shard endpoints (mapping
+    shard id -> ``(host, port)``).  The same instance is safe to share
+    across any number of concurrent tasks — requests pipeline per shard
+    exactly like on a single :class:`StorageClient`.
+    """
+
+    def __init__(
+        self,
+        clients: dict[int, StorageClient],
+        *,
+        redundancy: int,
+        vnodes: int = DEFAULT_VNODES,
+        logical_pages: int = 0,
+        dataword_bits: int = 0,
+    ) -> None:
+        if redundancy < 1:
+            raise ConfigurationError(
+                f"redundancy must be >= 1, got {redundancy}"
+            )
+        if redundancy > len(clients):
+            raise ConfigurationError(
+                f"redundancy {redundancy} needs at least that many shards, "
+                f"got {len(clients)}"
+            )
+        self.redundancy = redundancy
+        self._clients = dict(clients)
+        self._ring = HashRing(self._clients, vnodes=vnodes)
+        self._states: dict[int, ShardState] = {
+            shard: ShardState.UP for shard in self._clients
+        }
+        #: Per-LPN: the shard set holding the *latest acknowledged*
+        #: version.  Only LPNs touched through this router are tracked;
+        #: untracked LPNs fall back to plain ring order on reads.
+        self._replicas: dict[int, set[int]] = {}
+        self._locks: dict[int, asyncio.Lock] = {}
+        self._rebuild_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        #: All shards share one device geometry (validated by connect()).
+        self.logical_pages = logical_pages
+        self.dataword_bits = dataword_bits
+        #: Trace id of the most recently issued logical operation.
+        self.last_trace_id = 0
+        _SHARDS_UP.set(len(self._clients))
+
+    @classmethod
+    async def connect(
+        cls,
+        endpoints: Mapping[int, tuple[str, int]],
+        *,
+        redundancy: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
+    ) -> "ClusterClient":
+        """Connect to every shard and validate they agree on geometry.
+
+        Sharding partitions *load*, not address space: every shard runs
+        an identically-configured device and the cluster LPN is used as
+        the shard-local LPN directly, so the shards must report the same
+        ``logical_pages`` and ``dataword_bits`` or routing would silently
+        corrupt.  Any shard failing the handshake aborts the whole
+        connect (a supervisor that can't start a full fleet should not
+        pretend it did).
+        """
+        if not endpoints:
+            raise ConfigurationError("need at least one shard endpoint")
+        clients: dict[int, StorageClient] = {}
+        try:
+            for shard, (host, port) in sorted(endpoints.items()):
+                clients[shard] = await StorageClient.connect(
+                    host, port, timeout=timeout
+                )
+            geometry: dict[int, tuple[int, int]] = {}
+            for shard, client in clients.items():
+                info = await client.stat()
+                geometry[shard] = (
+                    info["logical_pages"], info["dataword_bits"]
+                )
+            distinct = set(geometry.values())
+            if len(distinct) > 1:
+                raise ConfigurationError(
+                    "shards disagree on device geometry "
+                    f"(logical_pages, dataword_bits): {sorted(geometry.items())}"
+                )
+        except BaseException:
+            for client in clients.values():
+                await client.close()
+            raise
+        pages, bits = next(iter(distinct))
+        return cls(
+            clients,
+            redundancy=redundancy,
+            vnodes=vnodes,
+            logical_pages=pages,
+            dataword_bits=bits,
+        )
+
+    async def __aenter__(self) -> "ClusterClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- membership views ----------------------------------------------------
+
+    @property
+    def shard_states(self) -> dict[int, ShardState]:
+        """Snapshot of each shard's current state."""
+        return dict(self._states)
+
+    def _writable(self) -> set[int]:
+        return {
+            shard for shard, state in self._states.items()
+            if state is ShardState.UP
+        }
+
+    def _readable(self) -> set[int]:
+        return {
+            shard for shard, state in self._states.items()
+            if state is not ShardState.DOWN
+        }
+
+    def mark_down(self, shard: int) -> None:
+        """Declare a shard unreachable and start rebuilding its data."""
+        if self._states.get(shard) is ShardState.DOWN:
+            return
+        self._states[shard] = ShardState.DOWN
+        _SHARD_DOWN.inc()
+        _SHARDS_UP.set(len(self._readable()))
+        self._schedule_rebuild()
+
+    def mark_read_only(self, shard: int) -> None:
+        """Declare a shard write-dead (end-of-life device); reads continue."""
+        if self._states.get(shard) is not ShardState.UP:
+            return
+        self._states[shard] = ShardState.READ_ONLY
+        _SHARD_READ_ONLY.inc()
+        self._schedule_rebuild()
+
+    # -- data plane ----------------------------------------------------------
+
+    def _lock(self, lpn: int) -> asyncio.Lock:
+        lock = self._locks.get(lpn)
+        if lock is None:
+            lock = self._locks[lpn] = asyncio.Lock()
+        return lock
+
+    def _trace_id(self) -> int:
+        if _metrics.get_registry().enabled:
+            self.last_trace_id = new_trace_id()
+            return self.last_trace_id
+        return 0
+
+    async def read(self, lpn: int) -> np.ndarray:
+        """Read one page from the freshest replica, failing over as needed."""
+        self._check_open()
+        _READS.inc()
+        trace_id = self._trace_id()
+        holders = self._replicas.get(lpn)
+        candidates = [
+            shard
+            for shard in self._ring.owners(
+                lpn, k=len(self._clients), alive=self._readable()
+            )
+            if holders is None or shard in holders
+        ]
+        if not candidates:
+            raise ClusterError(
+                f"no live replica of lpn {lpn} "
+                f"(states: {self._state_summary()})"
+            )
+        last_error: Exception | None = None
+        for index, shard in enumerate(candidates):
+            if index > 0:
+                _FAILOVER_READS.inc()
+            try:
+                return await self._clients[shard].read(
+                    lpn, trace_id=trace_id
+                )
+            except _SHARD_DEAD_ERRORS as exc:
+                self.mark_down(shard)
+                last_error = exc
+            except UncorrectableReadError as exc:
+                # The whole point of Redundancy-K: an unrecoverable page
+                # on one device is served from the next replica.
+                last_error = exc
+            except LogicalAddressError:
+                # Out of the device's address range: the same answer on
+                # every replica, so failing over would only waste reads.
+                raise
+        if isinstance(last_error, UncorrectableReadError):
+            # Every replica of the page is unrecoverable: surface the
+            # storage-level error, not a routing one.
+            raise last_error
+        raise ClusterError(
+            f"all replicas of lpn {lpn} failed: {last_error} "
+            f"(states: {self._state_summary()})"
+        )
+
+    async def write(self, lpn: int, data: np.ndarray) -> None:
+        """Write one page to ``redundancy`` replicas; ack when all landed."""
+        self._check_open()
+        _WRITES.inc()
+        payload = np.asarray(data, dtype=np.uint8)
+        trace_id = self._trace_id()
+        async with self._lock(lpn):
+            acked = await self._fan_out(
+                lpn,
+                lambda client: client.write(lpn, payload, trace_id=trace_id),
+            )
+            self._replicas[lpn] = acked
+
+    async def trim(self, lpn: int) -> None:
+        """Discard one page on every replica.
+
+        Trim is versioned like a write: the shards that acknowledged it
+        hold the latest (empty) state, so subsequent reads route to them
+        and correctly report the page unmapped.
+        """
+        self._check_open()
+        _TRIMS.inc()
+        trace_id = self._trace_id()
+        async with self._lock(lpn):
+            acked = await self._fan_out(
+                lpn,
+                lambda client: client.trim(lpn, trace_id=trace_id),
+            )
+            self._replicas[lpn] = acked
+
+    async def stat(self) -> dict:
+        """Cluster-level state: per-shard STAT plus router-side health."""
+        self._check_open()
+        shards: dict[int, dict] = {}
+        for shard, client in self._clients.items():
+            if self._states[shard] is ShardState.DOWN:
+                shards[shard] = {"state": "down"}
+                continue
+            try:
+                info = await client.stat()
+            except _SHARD_DEAD_ERRORS:
+                self.mark_down(shard)
+                shards[shard] = {"state": "down"}
+                continue
+            info["state"] = self._states[shard].value
+            shards[shard] = info
+        return {
+            "shards": shards,
+            "redundancy": self.redundancy,
+            "logical_pages": self.logical_pages,
+            "dataword_bits": self.dataword_bits,
+            "tracked_lpns": len(self._replicas),
+            "rebuilding": bool(self._rebuild_tasks),
+        }
+
+    async def close(self) -> None:
+        """Cancel rebuilds and close every shard connection."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in tuple(self._rebuild_tasks):
+            task.cancel()
+        await asyncio.gather(*self._rebuild_tasks, return_exceptions=True)
+        self._rebuild_tasks.clear()
+        for client in self._clients.values():
+            await client.close()
+
+    # -- replica fan-out -----------------------------------------------------
+
+    async def _fan_out(self, lpn: int, send) -> set[int]:
+        """Apply ``send`` to owner shards until ``redundancy`` acks land.
+
+        Walks the ring over the currently writable view; every failed
+        shard is marked (DOWN or READ_ONLY) and the walk continues onto
+        the replacement successors, so one mid-write shard death costs a
+        retry, not the write.  Returns the acknowledging shard set.
+        """
+        acked: set[int] = set()
+        failed: set[int] = set()
+        while len(acked) < self.redundancy:
+            alive = self._writable() - failed
+            targets = [
+                shard
+                for shard in self._ring.owners(
+                    lpn, k=self.redundancy, alive=alive
+                )
+                if shard not in acked
+            ]
+            if not targets:
+                break
+            results = await asyncio.gather(
+                *(send(self._clients[shard]) for shard in targets),
+                return_exceptions=True,
+            )
+            for shard, result in zip(targets, results):
+                if isinstance(result, ReadOnlyModeError):
+                    self.mark_read_only(shard)
+                    failed.add(shard)
+                elif isinstance(result, _SHARD_DEAD_ERRORS):
+                    self.mark_down(shard)
+                    failed.add(shard)
+                elif isinstance(result, BaseException):
+                    # A typed request error (bad LPN, ...) is the
+                    # operation's real answer, not a shard failure.
+                    raise result
+                else:
+                    acked.add(shard)
+                    _REPLICA_WRITES.inc()
+        if not acked:
+            raise ClusterError(
+                f"no writable shard accepted lpn {lpn} "
+                f"(states: {self._state_summary()})"
+            )
+        if len(acked) < self.redundancy:
+            _DEGRADED_WRITES.inc()
+        return acked
+
+    def _state_summary(self) -> str:
+        return ", ".join(
+            f"{shard}={state.value}"
+            for shard, state in sorted(self._states.items())
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConnectionLostError("cluster client is closed")
+
+    # -- rebuild -------------------------------------------------------------
+
+    def _schedule_rebuild(self) -> None:
+        if self._closed:
+            return
+        task = asyncio.ensure_future(self._rebuild())
+        self._rebuild_tasks.add(task)
+        task.add_done_callback(self._rebuild_tasks.discard)
+
+    async def rebuild_done(self) -> None:
+        """Wait until every scheduled rebuild pass has finished."""
+        while self._rebuild_tasks:
+            await asyncio.gather(
+                *tuple(self._rebuild_tasks), return_exceptions=True
+            )
+
+    async def _rebuild(self) -> None:
+        """Re-replicate under-replicated LPNs onto healthy shards.
+
+        One pass over the tracked replica map: for each LPN whose live
+        writable replica count fell below the redundancy target, copy the
+        latest version from any surviving readable replica (READ_ONLY
+        shards serve as sources) onto the ring's replacement owners.
+        Each copy holds the LPN's lock, so client writes and rebuild
+        copies never interleave on one page.
+        """
+        copied = 0
+        for lpn in sorted(self._replicas):
+            copied += await self._rebuild_lpn(lpn)
+        _REBUILD_PAGES.inc(copied)
+        _REBUILDS_DONE.inc()
+
+    async def _rebuild_lpn(self, lpn: int) -> int:
+        async with self._lock(lpn):
+            live = self._replicas.get(lpn, set()) & self._readable()
+            if not live:
+                # Every replica died before rebuild could copy: the data
+                # is gone for this router.  Drop the entry so reads fail
+                # loudly instead of consulting an empty holder set.
+                self._replicas.pop(lpn, None)
+                return 0
+            holders = self._replicas[lpn] = live
+            writable_live = holders & self._writable()
+            want = min(self.redundancy, len(self._writable()))
+            targets = [
+                shard
+                for shard in self._ring.owners(
+                    lpn, k=want, alive=self._writable()
+                )
+                if shard not in writable_live
+            ][: max(0, want - len(writable_live))]
+            if not targets:
+                return 0
+            try:
+                # A trimmed page reads back as zeros (FTL semantics), so
+                # one plain read/write copies every state a page can be in.
+                source = next(iter(live))
+                data = await self._clients[source].read(lpn)
+            except _SHARD_DEAD_ERRORS:
+                self.mark_down(source)
+                return 0  # a follow-up rebuild pass picks this LPN up
+            except UncorrectableReadError:
+                return 0
+            copied = 0
+            for target in targets:
+                try:
+                    await self._clients[target].write(lpn, data)
+                except ReadOnlyModeError:
+                    self.mark_read_only(target)
+                except _SHARD_DEAD_ERRORS:
+                    self.mark_down(target)
+                else:
+                    holders = holders | {target}
+                    copied += 1
+            # Prune holders that died: a shard that comes back after a
+            # kill restarts empty (or stale) and must never serve reads
+            # for versions it no longer holds.
+            self._replicas[lpn] = holders & self._readable()
+            return copied

@@ -1,0 +1,258 @@
+"""Command-line entry points for cluster serving.
+
+Two subcommands::
+
+    # stand up N shard workers + the cluster telemetry plane; SIGINT or
+    # SIGTERM stops the fleet.  --state-file publishes endpoints + pids
+    # as JSON for tooling (bench --connect-state, CI kill -9).
+    python -m repro.cluster serve --shards 3 --redundancy 2 \\
+        --state-file /tmp/cluster.json
+
+    # self-contained bench: launch a fleet, drive it through the router,
+    # tear it down; or drive an already-running fleet via its state file
+    python -m repro.cluster bench --shards 3 --redundancy 2 --clients 16
+    python -m repro.cluster bench --connect-state /tmp/cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.loadgen import run_cluster_closed_loop
+from repro.cluster.obs import ClusterObsServer
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    endpoints_from_state,
+    read_state_file,
+)
+from repro.errors import ConfigurationError, DurabilityError, ServerError
+from repro.obs import registry as _metrics
+from repro.obs.export import write_metrics, write_trace
+from repro.server.runner import _HEADER, _result_row
+
+__all__ = ["main"]
+
+#: Device/server/durability flags forwarded verbatim to every shard's
+#: ``repro.server serve`` command line: (flag, default-as-string).
+_FORWARDED_FLAGS = (
+    ("--scheme", "mfc-1/2-1bpc"),
+    ("--blocks", "16"),
+    ("--pages-per-block", "16"),
+    ("--page-bytes", "512"),
+    ("--erase-limit", "10000"),
+    ("--utilization", "0.5"),
+    ("--constraint-length", "7"),
+    ("--max-batch", "32"),
+    ("--queue-depth", "256"),
+    ("--credit-window", "64"),
+    ("--fsync-policy", "batch"),
+)
+
+
+def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fleet", "the shard fleet to launch")
+    group.add_argument("--shards", type=int, default=3,
+                       help="shard worker processes (default %(default)s)")
+    group.add_argument("--redundancy", type=int, default=1,
+                       help="replicas per LPN; writes ack after this many "
+                            "shards acknowledged (default %(default)s)")
+    group.add_argument("--data-dir", metavar="DIR",
+                       help="per-shard durable dirs DIR/shard-N "
+                            "(journal + checkpoints)")
+    group.add_argument("--run-dir", metavar="DIR",
+                       help="per-shard log files land here "
+                            "(default: a temp dir)")
+    group.add_argument("--state-file", metavar="PATH",
+                       help="write fleet endpoints + pids here as JSON")
+    group.add_argument("--start-timeout", type=float, default=30.0,
+                       help="seconds to wait for each shard's banner")
+    for flag, default in _FORWARDED_FLAGS:
+        group.add_argument(flag, default=default,
+                           help=f"forwarded to every shard "
+                                f"(default {default})")
+
+
+def _shard_extra_args(args: argparse.Namespace) -> tuple[str, ...]:
+    extra: list[str] = []
+    for flag, _default in _FORWARDED_FLAGS:
+        extra += [flag, str(getattr(args, flag.lstrip("-").replace("-", "_")))]
+    return tuple(extra)
+
+
+def _make_supervisor(args: argparse.Namespace) -> ClusterSupervisor:
+    run_dir = args.run_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    return ClusterSupervisor(
+        args.shards,
+        run_dir=run_dir,
+        data_dir=args.data_dir,
+        redundancy=args.redundancy,
+        extra_args=_shard_extra_args(args),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Serve a sharded SSD cluster, or benchmark one.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run a shard fleet until SIGINT/SIGTERM"
+    )
+    _add_fleet_args(serve)
+    serve.add_argument("--obs-port", type=int, default=0, metavar="PORT",
+                       help="cluster-wide /metrics + /healthz port "
+                            "(default: ephemeral)")
+    serve.add_argument("--obs-host", default="127.0.0.1")
+    serve.add_argument("--metrics-out", metavar="PATH",
+                       help="write the merged cluster metrics here on stop")
+
+    bench = commands.add_parser(
+        "bench", help="drive a cluster with the load generator"
+    )
+    _add_fleet_args(bench)
+    bench.add_argument("--connect-state", metavar="PATH",
+                       help="drive the running fleet described by this "
+                            "state file instead of launching one")
+    bench.add_argument("--connect-timeout", type=float, default=10.0,
+                       help="seconds to wait for each shard connection")
+    bench.add_argument("--clients", type=int, nargs="+", default=[1, 4, 16],
+                       help="closed-loop concurrency sweep points")
+    bench.add_argument("--ops", type=int, default=100,
+                       help="requests per client")
+    bench.add_argument("--read-fraction", type=float, default=0.0)
+    bench.add_argument("--workload", default="uniform")
+    bench.add_argument("--seed", type=int, default=2016)
+    bench.add_argument("--metrics-out", metavar="PATH",
+                       help="write the bench process's metrics dump here "
+                            "(includes repro_cluster_* router counters)")
+    bench.add_argument("--trace-out", metavar="PATH",
+                       help="write the bench process's span trace here")
+
+    args = parser.parse_args(argv)
+    if args.metrics_out or getattr(args, "trace_out", None):
+        _metrics.set_enabled(True)
+    try:
+        if args.command == "serve":
+            code = asyncio.run(_serve(args))
+        else:
+            code = _bench(args)
+    except (ConfigurationError, DurabilityError, ServerError, OSError) as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics_out and args.command == "bench":
+        # serve writes its own dump: the shard-labelled *merged* text,
+        # not this process's (mostly empty) local registry.
+        write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", flush=True)
+    if getattr(args, "trace_out", None):
+        write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", flush=True)
+    return code
+
+
+# -- serve --------------------------------------------------------------------
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    supervisor = _make_supervisor(args)
+    supervisor.start(timeout=args.start_timeout)
+    obs_server = None
+    try:
+        if args.state_file:
+            supervisor.write_state_file(args.state_file)
+            print(f"cluster state in {args.state_file}", flush=True)
+        obs_server = ClusterObsServer(supervisor.obs_endpoints())
+        await obs_server.start(host=args.obs_host, port=args.obs_port)
+        # Install the handlers before announcing readiness: tooling that
+        # reads the banner may signal immediately, and a SIGTERM landing
+        # in the gap would skip the graceful fleet teardown.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # non-Unix loops
+                signal.signal(
+                    signum,
+                    lambda *_: loop.call_soon_threadsafe(stop.set),
+                )
+        print(
+            f"cluster telemetry on http://{args.obs_host}:{obs_server.port} "
+            "(/metrics /healthz)",
+            flush=True,
+        )
+        for shard, (host, port) in sorted(supervisor.endpoints().items()):
+            print(f"shard {shard} serving on {host}:{port}", flush=True)
+        print(
+            f"cluster of {args.shards} shards up "
+            f"(redundancy {args.redundancy})",
+            flush=True,
+        )
+        await stop.wait()
+    finally:
+        if obs_server is not None:
+            if args.metrics_out:
+                # The scrape cache may predate the last traffic burst;
+                # resweep while the shards are still up so the dump is
+                # the fleet's final word.
+                try:
+                    await obs_server.refresh()
+                except Exception:
+                    pass
+                _status, _ctype, body = obs_server._metrics()
+                path = Path(args.metrics_out)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_bytes(body)
+            await obs_server.stop()
+        supervisor.stop()
+    print("cluster stopped", flush=True)
+    return 0
+
+
+# -- bench --------------------------------------------------------------------
+
+
+def _bench(args: argparse.Namespace) -> int:
+    if args.connect_state:
+        state = read_state_file(args.connect_state)
+        endpoints = endpoints_from_state(state)
+        return _bench_endpoints(args, endpoints)
+    supervisor = _make_supervisor(args)
+    supervisor.start(timeout=args.start_timeout)
+    try:
+        if args.state_file:
+            supervisor.write_state_file(args.state_file)
+        return _bench_endpoints(args, supervisor.endpoints())
+    finally:
+        supervisor.stop()
+
+
+def _bench_endpoints(
+    args: argparse.Namespace, endpoints: dict[int, tuple[str, int]]
+) -> int:
+    print(_HEADER)
+    for clients in args.clients:
+        result = asyncio.run(run_cluster_closed_loop(
+            endpoints,
+            redundancy=args.redundancy,
+            clients=clients,
+            ops_per_client=args.ops,
+            workload=args.workload,
+            read_fraction=args.read_fraction,
+            seed=args.seed,
+            connect_timeout=args.connect_timeout,
+        ))
+        print(_result_row(result), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

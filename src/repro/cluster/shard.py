@@ -1,0 +1,170 @@
+"""One shard worker: a ``repro.server serve`` loop in its own process.
+
+A shard is not a new server — it is exactly the existing single-device
+serve loop (SSD + write coalescer + optional ``--data-dir`` durability +
+obs sidecar), launched as a child *process* so N shards escape the GIL
+and actually run their device work in parallel.  This module owns the
+mechanics: building the argv, capturing stdout to a per-shard log file,
+and parsing the startup banners back out of that log to discover the
+ephemeral data and telemetry ports.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ClusterError
+
+__all__ = ["ShardSpec", "ShardProcess"]
+
+#: Printed by ``repro.server serve`` once the data socket is bound.
+_SERVE_BANNER = re.compile(r"^serving .* on ([\w.\-]+):(\d+)$", re.M)
+#: Printed (earlier) when the telemetry sidecar is up.
+_OBS_BANNER = re.compile(
+    r"^telemetry plane on http://([\w.\-]+):(\d+) ", re.M
+)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Launch parameters for one shard worker.
+
+    ``extra_args`` carries the device/server/durability knobs verbatim —
+    the shard speaks the full ``repro.server serve`` CLI.  Every shard of
+    a cluster must receive identical *device* knobs (the router validates
+    geometry agreement at connect time).
+    """
+
+    shard_id: int
+    log_path: Path
+    data_dir: Path | None = None
+    host: str = "127.0.0.1"
+    extra_args: tuple[str, ...] = field(default_factory=tuple)
+
+    def argv(self) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro.server", "serve",
+            "--host", self.host, "--port", "0", "--obs-port", "0",
+            *self.extra_args,
+        ]
+        if self.data_dir is not None:
+            argv += ["--data-dir", str(self.data_dir)]
+        return argv
+
+
+class ShardProcess:
+    """Lifecycle of one running shard worker subprocess."""
+
+    def __init__(self, spec: ShardSpec, env: dict | None = None) -> None:
+        self.spec = spec
+        self._env = env
+        self._process: subprocess.Popen | None = None
+        self.port: int | None = None
+        self.obs_port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> None:
+        """Launch the worker and wait for both startup banners.
+
+        Stdout/stderr stream to the spec's log file (the artifact CI
+        uploads); the banners are polled back out of it because an
+        ephemeral ``--port 0`` is only knowable after bind.
+        """
+        if self._process is not None:
+            raise ClusterError(f"shard {self.spec.shard_id} already started")
+        self.spec.log_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.spec.data_dir is not None:
+            self.spec.data_dir.mkdir(parents=True, exist_ok=True)
+        log = open(self.spec.log_path, "w")
+        try:
+            self._process = subprocess.Popen(
+                self.spec.argv(),
+                stdout=log, stderr=subprocess.STDOUT,
+                env=self._env,
+            )
+        finally:
+            # The child owns the descriptor now (or failed to spawn).
+            log.close()
+        deadline = time.monotonic() + timeout
+        while True:
+            text = self.spec.log_path.read_text()
+            serve = _SERVE_BANNER.search(text)
+            obs = _OBS_BANNER.search(text)
+            if serve and obs:
+                self.port = int(serve.group(2))
+                self.obs_port = int(obs.group(2))
+                return
+            if self._process.poll() is not None:
+                raise ClusterError(
+                    f"shard {self.spec.shard_id} exited with code "
+                    f"{self._process.returncode} before serving; log tail:\n"
+                    + "\n".join(text.splitlines()[-15:])
+                )
+            if time.monotonic() >= deadline:
+                self.kill()
+                raise ClusterError(
+                    f"shard {self.spec.shard_id} produced no serving banner "
+                    f"within {timeout:.0f}s; log tail:\n"
+                    + "\n".join(text.splitlines()[-15:])
+                )
+            time.sleep(0.05)
+
+    def stop(self, timeout: float = 30.0) -> int | None:
+        """Graceful stop (SIGTERM -> wait), escalating to SIGKILL."""
+        if self._process is None:
+            return None
+        if self._process.poll() is None:
+            self._process.send_signal(signal.SIGTERM)
+            try:
+                self._process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+                self._process.wait(timeout=timeout)
+        return self._process.returncode
+
+    def kill(self) -> None:
+        """SIGKILL, the crash-test hammer; no cleanup runs in the child."""
+        if self._process is not None and self._process.poll() is None:
+            self._process.kill()
+
+    def wait(self, timeout: float | None = None) -> int | None:
+        if self._process is None:
+            return None
+        return self._process.wait(timeout=timeout)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid if self._process is not None else None
+
+    def poll(self) -> int | None:
+        """Exit code, or None while running (or before start)."""
+        if self._process is None:
+            return None
+        return self._process.poll()
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.poll() is None
+
+    def endpoint(self) -> tuple[str, int]:
+        if self.port is None:
+            raise ClusterError(
+                f"shard {self.spec.shard_id} has not finished starting"
+            )
+        return self.spec.host, self.port
+
+    def obs_endpoint(self) -> tuple[str, int]:
+        if self.obs_port is None:
+            raise ClusterError(
+                f"shard {self.spec.shard_id} has not finished starting"
+            )
+        return self.spec.host, self.obs_port

@@ -1,0 +1,167 @@
+"""Cluster supervisor: start, describe, and stop a fleet of shard workers.
+
+The supervisor is the control plane counterpart to the router's data
+plane: it launches N :class:`~repro.cluster.shard.ShardProcess` workers
+(each with its own log file and, when durability is on, its own
+journal/checkpoint directory), publishes the discovered endpoints — both
+as Python mappings for in-process callers and as a JSON *state file* for
+out-of-process tooling (the CI smoke job reads pids out of it to
+``kill -9`` a shard) — and tears the fleet down again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.cluster.shard import ShardProcess, ShardSpec
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ClusterSupervisor",
+    "endpoints_from_state",
+    "read_state_file",
+]
+
+
+class ClusterSupervisor:
+    """Own the lifecycle of ``shards`` identical shard workers."""
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        run_dir: str | Path,
+        data_dir: str | Path | None = None,
+        redundancy: int = 1,
+        host: str = "127.0.0.1",
+        extra_args: tuple[str, ...] = (),
+        env: dict | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if not 1 <= redundancy <= shards:
+            raise ConfigurationError(
+                f"redundancy must lie in [1, {shards}], got {redundancy}"
+            )
+        self.redundancy = redundancy
+        self.run_dir = Path(run_dir)
+        if env is None:
+            # Shard workers import repro from the same tree this process
+            # runs; propagate the path for checkouts that aren't installed.
+            env = dict(os.environ)
+            import repro
+            src = str(Path(repro.__file__).resolve().parents[1])
+            env["PYTHONPATH"] = (
+                src + os.pathsep + env["PYTHONPATH"]
+                if env.get("PYTHONPATH") else src
+            )
+        self._workers = [
+            ShardProcess(
+                ShardSpec(
+                    shard_id=index,
+                    host=host,
+                    log_path=self.run_dir / f"shard-{index}.log",
+                    data_dir=(
+                        Path(data_dir) / f"shard-{index}"
+                        if data_dir is not None else None
+                    ),
+                    extra_args=tuple(extra_args),
+                ),
+                env=env,
+            )
+            for index in range(shards)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> None:
+        """Launch every worker; a partial fleet is torn down, not served."""
+        try:
+            for worker in self._workers:
+                worker.start(timeout=timeout)
+        except BaseException:
+            self.stop()
+            raise
+
+    def stop(self, timeout: float = 30.0) -> None:
+        for worker in self._workers:
+            worker.stop(timeout=timeout)
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def workers(self) -> tuple[ShardProcess, ...]:
+        return tuple(self._workers)
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Shard id -> data-plane (host, port) for the router."""
+        return {
+            worker.spec.shard_id: worker.endpoint()
+            for worker in self._workers
+        }
+
+    def obs_endpoints(self) -> dict[int, tuple[str, int]]:
+        """Shard id -> telemetry sidecar (host, port) for scraping."""
+        return {
+            worker.spec.shard_id: worker.obs_endpoint()
+            for worker in self._workers
+        }
+
+    def state(self) -> dict:
+        """JSON-serializable fleet description (the state-file payload)."""
+        return {
+            "redundancy": self.redundancy,
+            "shards": [
+                {
+                    "id": worker.spec.shard_id,
+                    "pid": worker.pid,
+                    "host": worker.spec.host,
+                    "port": worker.port,
+                    "obs_port": worker.obs_port,
+                    "log": str(worker.spec.log_path),
+                    "data_dir": (
+                        str(worker.spec.data_dir)
+                        if worker.spec.data_dir is not None else None
+                    ),
+                }
+                for worker in self._workers
+            ],
+        }
+
+    def write_state_file(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.state(), indent=2) + "\n")
+        return path
+
+
+def read_state_file(path: str | Path) -> dict:
+    """Load a supervisor state file, validating the minimal shape."""
+    try:
+        state = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot read cluster state file {path}: {exc}"
+        ) from None
+    if not isinstance(state, dict) or "shards" not in state:
+        raise ConfigurationError(
+            f"{path} is not a cluster state file (no 'shards' key)"
+        )
+    return state
+
+
+def endpoints_from_state(state: dict) -> dict[int, tuple[str, int]]:
+    """Extract the router's shard id -> (host, port) map from a state dict."""
+    return {
+        int(shard["id"]): (shard["host"], int(shard["port"]))
+        for shard in state["shards"]
+    }

@@ -311,6 +311,17 @@ class BasicFTL:
             # would erase it with the reservation outstanding, handing the
             # same physical page out twice.
             self._garbage_collect(target_free=self.reserve_blocks + 1)
+            if (
+                self._open_block is not None
+                and self._next_page < geometry.pages_per_block
+            ):
+                # GC opened a fresh block for its relocations and left
+                # spare pages on it.  Keep writing there — opening yet
+                # another block would strand those pages in a closed
+                # block with no invalid pages, invisible to GC forever.
+                addr = (self._open_block, self._next_page)
+                self._next_page += 1
+                return addr
         if not self._free_blocks:
             raise OutOfSpaceError(
                 "no free blocks remain (device worn out or over-full)"

@@ -61,7 +61,13 @@ from repro.server.protocol import (
     Status,
 )
 
-__all__ = ["StorageClient"]
+__all__ = ["DEFAULT_CONNECT_TIMEOUT", "StorageClient"]
+
+#: Wall-clock bound on ``connect()``'s TCP handshake and HELLO exchange.
+#: A peer that accepts the socket but never answers the HELLO (a non-repro
+#: server, a firewalled port eating bytes) would otherwise hang the caller
+#: forever; the cluster router probes shards with this bound.
+DEFAULT_CONNECT_TIMEOUT = 10.0
 
 #: Status -> exception type for non-OK responses.
 _STATUS_ERRORS: dict[Status, type[Exception]] = {
@@ -95,19 +101,58 @@ class StorageClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, tenant: int | None = None
+        cls,
+        host: str,
+        port: int,
+        tenant: int | None = None,
+        timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
     ) -> "StorageClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        """Open a connection and complete the HELLO handshake.
+
+        ``timeout`` bounds the whole handshake (TCP connect + HELLO round
+        trip).  A peer that accepts the socket but never produces a valid
+        HELLO reply — a truncated frame, garbage bytes, or silence — fails
+        fast with a typed :class:`~repro.errors.ProtocolError` instead of
+        hanging, so callers probing many endpoints (the cluster router)
+        stay responsive.  ``timeout=None`` disables the bound.
+        """
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from None
         client = cls(reader, writer)
         try:
-            await client.hello(tenant if tenant is not None else 0)
+            await asyncio.wait_for(
+                client.hello(tenant if tenant is not None else 0), timeout
+            )
+        except asyncio.TimeoutError:
+            await client.close()
+            raise ProtocolError(
+                f"no HELLO reply from {host}:{port} within {timeout}s "
+                "(not a repro storage server?)"
+            ) from None
+        except ProtocolError:
+            await client.close()
+            raise
         except ServerError:
             # A version-0 server rejects the 4-byte HELLO payload; retry
             # the old 2-byte form (only when a tenant actually needs
             # declaring) and stay at protocol version 0.
             if tenant is not None:
                 try:
-                    await client.hello(tenant, version=0)
+                    await asyncio.wait_for(
+                        client.hello(tenant, version=0), timeout
+                    )
+                except asyncio.TimeoutError:
+                    await client.close()
+                    raise ProtocolError(
+                        f"no HELLO reply from {host}:{port} within "
+                        f"{timeout}s (not a repro storage server?)"
+                    ) from None
                 except BaseException:
                     await client.close()
                     raise
@@ -124,19 +169,32 @@ class StorageClient:
 
     # -- public operations ---------------------------------------------------
 
-    async def read(self, lpn: int) -> np.ndarray:
-        """Read one logical page's dataword bits."""
-        response = await self._request(Request(Opcode.READ, 0, lpn=lpn))
+    async def read(self, lpn: int, trace_id: int = 0) -> np.ndarray:
+        """Read one logical page's dataword bits.
+
+        ``trace_id`` (nonzero) carries an externally minted wire trace id
+        instead of a fresh one — the cluster router stamps every replica
+        request of one logical operation with the same id, so a single
+        trace covers the whole fan-out.
+        """
+        response = await self._request(
+            Request(Opcode.READ, 0, lpn=lpn, trace_id=trace_id)
+        )
         return response.data
 
-    async def write(self, lpn: int, data: np.ndarray) -> None:
+    async def write(
+        self, lpn: int, data: np.ndarray, trace_id: int = 0
+    ) -> None:
         """Write one logical page; returns once the server acknowledged."""
         await self._request(Request(Opcode.WRITE, 0, lpn=lpn,
-                                    data=np.asarray(data, dtype=np.uint8)))
+                                    data=np.asarray(data, dtype=np.uint8),
+                                    trace_id=trace_id))
 
-    async def trim(self, lpn: int) -> None:
+    async def trim(self, lpn: int, trace_id: int = 0) -> None:
         """Discard one logical page."""
-        await self._request(Request(Opcode.TRIM, 0, lpn=lpn))
+        await self._request(
+            Request(Opcode.TRIM, 0, lpn=lpn, trace_id=trace_id)
+        )
 
     async def stat(self) -> dict:
         """Device + server state (see ``StorageService._stat``)."""
@@ -181,19 +239,25 @@ class StorageClient:
             raise ConnectionLostError("client is closed")
         if self._dead is not None:
             # The read loop already exited; a new request's response could
-            # never be delivered, so fail fast instead of hanging.
+            # never be delivered, so fail fast instead of hanging.  A wire
+            # violation keeps its typed ProtocolError; everything else is
+            # a lost connection.
+            if isinstance(self._dead, ProtocolError):
+                raise ProtocolError(str(self._dead))
             raise ConnectionLostError(str(self._dead))
         request_id = self._next_id
         self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
         registry = _metrics.get_registry()
         trace_id = 0
-        if (
-            self.proto_version >= 1
-            and registry.enabled
-            and request.opcode is not Opcode.HELLO
-        ):
-            trace_id = new_trace_id()
-            self.last_trace_id = trace_id
+        if self.proto_version >= 1 and request.opcode is not Opcode.HELLO:
+            # Pass an externally stamped id through; mint a fresh one only
+            # when telemetry is on (an id nobody records is wasted bytes).
+            if request.trace_id:
+                trace_id = request.trace_id
+                self.last_trace_id = trace_id
+            elif registry.enabled:
+                trace_id = new_trace_id()
+                self.last_trace_id = trace_id
         request = Request(request.opcode, request_id, lpn=request.lpn,
                           data=request.data, tenant=request.tenant,
                           version=request.version, trace_id=trace_id)
@@ -246,6 +310,14 @@ class StorageClient:
                         ConnectionLostError("server closed the connection")
                     )
                     return
+                if len(body) < 5:
+                    # Too short to carry status + request id: responses can
+                    # no longer be routed to their futures, so the stream is
+                    # unusable (a non-repro peer, most likely).
+                    raise ProtocolError(
+                        f"response body of {len(body)} bytes is too short "
+                        "to route"
+                    )
                 # Peek the request id to recover the awaited opcode, then
                 # decode with the right payload interpretation.
                 request_id = int.from_bytes(body[1:5], "big")
@@ -261,7 +333,12 @@ class StorageClient:
                     continue
                 if not future.done():
                     future.set_result(response)
-        except (ProtocolError, ConnectionError, OSError) as exc:
+        except ProtocolError as exc:
+            # Keep the typed wire-violation error: callers probing whether
+            # a peer speaks the protocol (shard discovery) need to tell
+            # "not a repro server" apart from "connection dropped".
+            self._fail_pending(exc)
+        except (ConnectionError, OSError) as exc:
             self._fail_pending(ConnectionLostError(str(exc)))
         except asyncio.CancelledError:
             raise

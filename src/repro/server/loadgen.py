@@ -54,7 +54,7 @@ from repro.errors import (
 from repro.obs import registry as _metrics
 from repro.obs.registry import TIME_BUCKETS
 from repro.obs.tracing import span as _span
-from repro.server.client import StorageClient
+from repro.server.client import DEFAULT_CONNECT_TIMEOUT, StorageClient
 from repro.workload import (
     WORKLOADS,
     Op,
@@ -338,9 +338,13 @@ async def _issue(
     return True
 
 
-async def _fetch_geometry(host: str, port: int) -> tuple[int, int]:
+async def _fetch_geometry(
+    host: str, port: int, timeout: float | None = DEFAULT_CONNECT_TIMEOUT
+) -> tuple[int, int]:
     """(logical_pages, dataword_bits) from a throwaway STAT request."""
-    async with await StorageClient.connect(host, port) as client:
+    async with await StorageClient.connect(
+        host, port, timeout=timeout
+    ) as client:
         info = await client.stat()
     return info["logical_pages"], info["dataword_bits"]
 
@@ -371,6 +375,7 @@ async def run_closed_loop(
     read_fraction: float = 0.0,
     seed: int = 0,
     tenants: int = 1,
+    connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
     **workload_kwargs,
 ) -> LoadgenResult:
     """``clients`` connections, one outstanding request each.
@@ -388,7 +393,9 @@ async def run_closed_loop(
             "tenants must lie in [1, clients] (each tenant needs a client)"
         )
     kwargs = _stream_kwargs(read_fraction, workload_kwargs)
-    logical_pages, bits = await _fetch_geometry(host, port)
+    logical_pages, bits = await _fetch_geometry(
+        host, port, timeout=connect_timeout
+    )
     tally = _Tally()
 
     async def one_client(index: int) -> None:
@@ -398,12 +405,16 @@ async def run_closed_loop(
                 workload, logical_pages,
                 seed=derive_child_seed(seed, index), tenant=tenant, **kwargs,
             )
-            client = await StorageClient.connect(host, port, tenant=tenant)
+            client = await StorageClient.connect(
+                host, port, tenant=tenant, timeout=connect_timeout
+            )
         else:
             stream = make_workload(
                 workload, logical_pages, seed=seed + index, **kwargs
             )
-            client = await StorageClient.connect(host, port)
+            client = await StorageClient.connect(
+                host, port, timeout=connect_timeout
+            )
         async with client:
             for _ in range(ops_per_client):
                 if not await _issue(client, tally, next(stream), bits):
@@ -428,6 +439,7 @@ async def run_open_loop(
     read_fraction: float = 0.0,
     seed: int = 0,
     tenants: int = 1,
+    connect_timeout: float | None = DEFAULT_CONNECT_TIMEOUT,
     **workload_kwargs,
 ) -> LoadgenResult:
     """Issue ``total_ops`` requests at ``rate`` per second, pipelined.
@@ -450,7 +462,9 @@ async def run_open_loop(
     if tenants < 1:
         raise ConfigurationError("need at least one tenant")
     kwargs = _stream_kwargs(read_fraction, workload_kwargs)
-    logical_pages, bits = await _fetch_geometry(host, port)
+    logical_pages, bits = await _fetch_geometry(
+        host, port, timeout=connect_timeout
+    )
     tally = _Tally()
     if tenants > 1:
         stream: Workload = make_workload(
@@ -465,7 +479,9 @@ async def run_open_loop(
         try:
             for tenant in range(tenants):
                 clients[tenant] = await StorageClient.connect(
-                    host, port, tenant=tenant if tenants > 1 else None
+                    host, port,
+                    tenant=tenant if tenants > 1 else None,
+                    timeout=connect_timeout,
                 )
             start = time.perf_counter()
             tasks = []

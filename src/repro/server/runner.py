@@ -27,7 +27,7 @@ import time
 
 from repro.durability import FSYNC_POLICIES, DurableStore
 from repro.durability.checkpoint import read_manifest
-from repro.errors import ConfigurationError, DurabilityError
+from repro.errors import ConfigurationError, DurabilityError, ServerError
 from repro.experiments.pool import run_cells
 from repro.flash.geometry import FlashGeometry
 from repro.obs import registry as _metrics
@@ -280,6 +280,12 @@ def main(argv: list[str] | None = None) -> int:
     except (ConfigurationError, DurabilityError) as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
+    except (ServerError, OSError) as exc:
+        # Unreachable/unresponsive peers (connect refused, HELLO timeout,
+        # non-repro server) are operator errors: report and exit 2 rather
+        # than dumping a traceback or hanging.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
     if args.metrics_out:
         write_metrics(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", flush=True)
@@ -469,6 +475,7 @@ def _bench_connect(args: argparse.Namespace) -> int:
                 read_fraction=args.read_fraction,
                 seed=args.seed,
                 tenants=args.tenants,
+                connect_timeout=args.connect_timeout,
                 **params,
             )
         else:
@@ -480,6 +487,7 @@ def _bench_connect(args: argparse.Namespace) -> int:
                 read_fraction=args.read_fraction,
                 seed=args.seed,
                 tenants=args.tenants,
+                connect_timeout=args.connect_timeout,
                 **params,
             )
         print(_result_row(result), flush=True)

@@ -1,0 +1,161 @@
+"""Cluster telemetry: relabel/merge units plus a live scrape round-trip."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster.obs import (
+    ClusterObsServer,
+    fetch,
+    merge_prometheus,
+    relabel_metrics,
+)
+from repro.errors import ClusterError
+from repro.flash.geometry import FlashGeometry
+from repro.obs import registry as _metrics
+from repro.obs.http import ObsHttpServer
+from repro.server.service import ServerConfig, StorageService
+from repro.ssd.device import SSD
+
+
+class TestRelabel:
+    def test_plain_sample_gains_shard_label(self) -> None:
+        text = "# TYPE repro_server_requests counter\nrepro_server_requests 42"
+        out = relabel_metrics(text, 2)
+        assert 'repro_server_requests{shard="2"} 42' in out
+        assert "# TYPE repro_server_requests counter" in out
+
+    def test_existing_labels_are_preserved(self) -> None:
+        text = 'repro_server_tenant_requests{tenant="3"} 7'
+        out = relabel_metrics(text, 0)
+        assert out == (
+            'repro_server_tenant_requests{shard="0",tenant="3"} 7'
+        )
+
+    def test_histogram_series_labelled(self) -> None:
+        text = (
+            'repro_server_latency_seconds_bucket{le="0.1"} 5\n'
+            "repro_server_latency_seconds_sum 0.4\n"
+            "repro_server_latency_seconds_count 5"
+        )
+        out = relabel_metrics(text, 1).splitlines()
+        assert out[0] == (
+            'repro_server_latency_seconds_bucket{shard="1",le="0.1"} 5'
+        )
+        assert out[1] == 'repro_server_latency_seconds_sum{shard="1"} 0.4'
+
+
+class TestMerge:
+    def test_one_type_line_per_family(self) -> None:
+        shard0 = relabel_metrics(
+            "# TYPE repro_server_requests counter\nrepro_server_requests 1",
+            0,
+        )
+        shard1 = relabel_metrics(
+            "# TYPE repro_server_requests counter\nrepro_server_requests 2",
+            1,
+        )
+        merged = merge_prometheus([shard0, shard1])
+        lines = merged.splitlines()
+        assert lines.count("# TYPE repro_server_requests counter") == 1
+        assert 'repro_server_requests{shard="0"} 1' in lines
+        assert 'repro_server_requests{shard="1"} 2' in lines
+        # All samples of the family sit directly under its TYPE line.
+        at = lines.index("# TYPE repro_server_requests counter")
+        assert set(lines[at + 1:at + 3]) == {
+            'repro_server_requests{shard="0"} 1',
+            'repro_server_requests{shard="1"} 2',
+        }
+
+    def test_histogram_suffixes_fold_into_family(self) -> None:
+        text = (
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="+Inf"} 3\n'
+            "repro_lat_sum 0.9\n"
+            "repro_lat_count 3"
+        )
+        merged = merge_prometheus([relabel_metrics(text, s) for s in (0, 1)])
+        assert merged.splitlines().count("# TYPE repro_lat histogram") == 1
+        assert 'repro_lat_sum{shard="1"} 0.9' in merged
+
+    def test_untyped_samples_pass_through(self) -> None:
+        merged = merge_prometheus(["mystery_metric 7"])
+        assert "# TYPE mystery_metric untyped" in merged
+        assert "mystery_metric 7" in merged
+
+
+def _make_service() -> StorageService:
+    geometry = FlashGeometry(
+        blocks=8, pages_per_block=8, page_bits=256, erase_limit=200
+    )
+    ssd = SSD(
+        geometry=geometry, scheme="mfc-1/2-1bpc", utilization=0.5,
+        constraint_length=4,
+    )
+    return StorageService(ssd, ServerConfig())
+
+
+class TestClusterObsServer:
+    def test_scrapes_merge_and_health_aggregates(self) -> None:
+        _metrics.set_enabled(True)
+
+        async def go() -> tuple[str, dict, dict]:
+            services = [_make_service() for _ in range(2)]
+            sidecars = []
+            for service in services:
+                await service.start(port=0)
+                sidecar = ObsHttpServer(service=service)
+                await sidecar.start(port=0)
+                sidecars.append(sidecar)
+            targets = {
+                index: ("127.0.0.1", sidecar.port)
+                for index, sidecar in enumerate(sidecars)
+            }
+            cluster_obs = ClusterObsServer(targets, refresh_seconds=60.0)
+            await cluster_obs.start(port=0)
+            try:
+                status, body = await fetch(
+                    "127.0.0.1", cluster_obs.port, "/metrics"
+                )
+                assert status == 200
+                status, health_body = await fetch(
+                    "127.0.0.1", cluster_obs.port, "/healthz"
+                )
+                assert status == 200
+                healthy = json.loads(health_body)
+                # Kill one sidecar and resweep: health must degrade.
+                await sidecars[0].stop()
+                await cluster_obs.refresh()
+                _status, degraded_body = await fetch(
+                    "127.0.0.1", cluster_obs.port, "/healthz"
+                )
+                return (
+                    body.decode(), healthy, json.loads(degraded_body)
+                )
+            finally:
+                await cluster_obs.stop()
+                for sidecar in sidecars[1:]:
+                    await sidecar.stop()
+                for service in services:
+                    await service.stop()
+
+        metrics, healthy, degraded = asyncio.run(go())
+        assert 'shard="0"' in metrics and 'shard="1"' in metrics
+        # The local (router-process) registry is exported unlabelled —
+        # the /metrics requests this test itself made are counted there.
+        assert "\nrepro_obs_http_requests " in "\n" + metrics
+        assert healthy["status"] == "ok"
+        assert healthy["shards_unreachable"] == 0
+        assert degraded["status"] == "degraded"
+        assert degraded["shards"]["0"]["reachable"] is False
+        assert degraded["shards"]["1"]["reachable"] is True
+
+    def test_fetch_unreachable_raises_cluster_error(self) -> None:
+        async def go() -> None:
+            with pytest.raises(ClusterError):
+                await fetch("127.0.0.1", 1, "/metrics", timeout=0.5)
+
+        asyncio.run(go())

@@ -1,0 +1,158 @@
+"""Unit and property tests for the consistent-hash ring.
+
+The hypothesis suite pins the two guarantees cluster serving leans on:
+*balance* (no shard owns a wildly outsized key share, thanks to virtual
+nodes) and *minimal movement* (membership changes re-home only the keys
+that must move, and only onto/off the changed shard).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+from repro.errors import ConfigurationError
+
+KEYS = range(2000)
+
+shard_sets = st.sets(
+    st.integers(min_value=0, max_value=10_000), min_size=2, max_size=6
+)
+
+
+class TestBasics:
+    def test_empty_ring_owns_nothing(self) -> None:
+        ring = HashRing()
+        assert ring.owners(7) == ()
+        assert ring.primary(7) is None
+
+    def test_single_shard_owns_everything(self) -> None:
+        ring = HashRing([3])
+        assert all(ring.primary(key) == 3 for key in range(100))
+
+    def test_duplicate_add_rejected(self) -> None:
+        ring = HashRing([1])
+        with pytest.raises(ConfigurationError):
+            ring.add(1)
+
+    def test_remove_unknown_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            HashRing([1]).remove(2)
+
+    def test_bad_parameters_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+        with pytest.raises(ConfigurationError):
+            HashRing([1]).owners(0, k=0)
+
+    def test_lookup_is_deterministic_across_instances(self) -> None:
+        a, b = HashRing([0, 1, 2]), HashRing([2, 0, 1])
+        assert all(
+            a.owners(key, k=2) == b.owners(key, k=2) for key in range(200)
+        )
+
+
+class TestOwners:
+    def test_owners_are_distinct_and_sized(self) -> None:
+        ring = HashRing(range(4))
+        for key in range(100):
+            owners = ring.owners(key, k=3)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_k_beyond_membership_returns_all(self) -> None:
+        ring = HashRing(range(3))
+        assert set(ring.owners(5, k=10)) == {0, 1, 2}
+
+    def test_alive_view_filters_without_reordering(self) -> None:
+        """Failover order is the full walk filtered — replica i+1 is
+        exactly where keys fail over to when replica i dies."""
+        ring = HashRing(range(5))
+        for key in range(200):
+            full = ring.owners(key, k=5)
+            alive = {0, 2, 4}
+            expect = tuple(s for s in full if s in alive)[:2]
+            assert ring.owners(key, k=2, alive=alive) == expect
+
+    def test_empty_alive_view(self) -> None:
+        ring = HashRing(range(3))
+        assert ring.owners(5, alive=()) == ()
+
+
+class TestBalanceProperty:
+    def test_three_shard_balance(self) -> None:
+        ring = HashRing(range(3))
+        counts = {shard: 0 for shard in range(3)}
+        for key in KEYS:
+            counts[ring.primary(key)] += 1
+        mean = len(KEYS) / 3
+        assert max(counts.values()) / mean < 1.35, counts
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets)
+    def test_balance_within_tolerance(self, shards: set[int]) -> None:
+        """Virtual nodes keep every shard's key share near 1/n."""
+        ring = HashRing(shards)
+        counts = dict.fromkeys(shards, 0)
+        for key in KEYS:
+            counts[ring.primary(key)] += 1
+        mean = len(KEYS) / len(shards)
+        assert max(counts.values()) / mean < 1.6, counts
+
+
+class TestMovementProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets, new=st.integers(20_000, 30_000))
+    def test_join_moves_keys_only_to_the_new_shard(
+        self, shards: set[int], new: int
+    ) -> None:
+        before = HashRing(shards)
+        after = HashRing(shards)
+        after.add(new)
+        moved = 0
+        for key in KEYS:
+            was, now = before.primary(key), after.primary(key)
+            if was != now:
+                moved += 1
+                assert now == new, (key, was, now)
+        # Expected share is 1/(n+1); allow generous variance, but a ring
+        # that reshuffles half the space (mod-N style) must fail.
+        assert moved <= 3 * len(KEYS) / (len(shards) + 1), moved
+
+    @settings(max_examples=30, deadline=None)
+    @given(shards=shard_sets)
+    def test_leave_moves_only_the_leavers_keys(
+        self, shards: set[int]
+    ) -> None:
+        removed = min(shards)
+        before = HashRing(shards)
+        after = HashRing(shards)
+        after.remove(removed)
+        for key in KEYS:
+            was = before.primary(key)
+            if was != removed:
+                assert after.primary(key) == was
+
+    @settings(max_examples=20, deadline=None)
+    @given(shards=shard_sets, new=st.integers(20_000, 30_000))
+    def test_join_preserves_untouched_replica_sets(
+        self, shards: set[int], new: int
+    ) -> None:
+        """Redundancy-K owner lists change only where the new shard lands."""
+        before = HashRing(shards)
+        after = HashRing(shards)
+        after.add(new)
+        k = min(2, len(shards))
+        for key in range(500):
+            was, now = before.owners(key, k=k), after.owners(key, k=k)
+            if new not in now:
+                assert was == now, (key, was, now)
+
+    def test_remove_then_add_restores_placement(self) -> None:
+        ring = HashRing(range(4))
+        reference = [ring.owners(key, k=2) for key in range(300)]
+        ring.remove(2)
+        ring.add(2)
+        assert [ring.owners(key, k=2) for key in range(300)] == reference

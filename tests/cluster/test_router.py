@@ -1,0 +1,325 @@
+"""Router tests: replication, read-your-writes, failover, and rebuild.
+
+The fleet here is three in-process :class:`StorageService` instances on
+loopback — real wire protocol, no subprocesses — so shard death can be
+simulated deterministically by stopping one service mid-test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ShardState
+from repro.errors import ClusterError, ConfigurationError, LogicalAddressError
+from repro.obs import registry as _metrics
+from repro.flash.geometry import FlashGeometry
+from repro.server.service import ServerConfig, StorageService
+from repro.ssd.device import SSD
+
+
+def make_service(page_bits: int = 256) -> StorageService:
+    geometry = FlashGeometry(
+        blocks=8, pages_per_block=8, page_bits=page_bits, erase_limit=200
+    )
+    ssd = SSD(
+        geometry=geometry, scheme="mfc-1/2-1bpc", utilization=0.5,
+        constraint_length=4,
+    )
+    return StorageService(ssd, ServerConfig())
+
+
+class Cluster:
+    """Three loopback services plus a connected router."""
+
+    def __init__(self, redundancy: int) -> None:
+        self.redundancy = redundancy
+        self.services: dict[int, StorageService] = {}
+        self.router: ClusterClient | None = None
+
+    async def __aenter__(self) -> "Cluster":
+        for shard in range(3):
+            service = make_service()
+            await service.start(port=0)
+            self.services[shard] = service
+        self.router = await ClusterClient.connect(
+            {s: ("127.0.0.1", svc.port) for s, svc in self.services.items()},
+            redundancy=self.redundancy,
+        )
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.router.close()
+        for service in self.services.values():
+            await service.stop()
+
+    def payload(self, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(
+            0, 2, self.router.dataword_bits, dtype=np.uint8
+        )
+
+
+class TestConnect:
+    def test_redundancy_beyond_fleet_rejected(self) -> None:
+        async def go() -> None:
+            service = make_service()
+            await service.start(port=0)
+            try:
+                with pytest.raises(ConfigurationError):
+                    await ClusterClient.connect(
+                        {0: ("127.0.0.1", service.port)}, redundancy=2
+                    )
+            finally:
+                await service.stop()
+
+        asyncio.run(go())
+
+    def test_geometry_disagreement_rejected(self) -> None:
+        async def go() -> None:
+            small = make_service(page_bits=256)
+            big = make_service(page_bits=512)
+            await small.start(port=0)
+            await big.start(port=0)
+            try:
+                with pytest.raises(ConfigurationError, match="geometry"):
+                    await ClusterClient.connect({
+                        0: ("127.0.0.1", small.port),
+                        1: ("127.0.0.1", big.port),
+                    })
+            finally:
+                await small.stop()
+                await big.stop()
+
+        asyncio.run(go())
+
+    def test_no_endpoints_rejected(self) -> None:
+        async def go() -> None:
+            with pytest.raises(ConfigurationError):
+                await ClusterClient.connect({})
+
+        asyncio.run(go())
+
+
+class TestReplication:
+    def test_write_lands_on_k_shards_and_reads_back(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                payloads = {lpn: cluster.payload(lpn) for lpn in range(10)}
+                for lpn, data in payloads.items():
+                    await router.write(lpn, data)
+                for lpn, data in payloads.items():
+                    assert np.array_equal(await router.read(lpn), data)
+                # Every LPN must be acknowledged by exactly K shards.
+                assert all(
+                    len(router._replicas[lpn]) == 2 for lpn in payloads
+                )
+                # With K=2 of 3 shards, replication must actually spread
+                # (not every LPN on the same pair).
+                pairs = {
+                    frozenset(router._replicas[lpn]) for lpn in payloads
+                }
+                assert len(pairs) > 1
+
+        asyncio.run(go())
+
+    def test_rewrite_replaces_replica_set(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=1) as cluster:
+                router = cluster.router
+                await router.write(4, cluster.payload(1))
+                new = cluster.payload(2)
+                await router.write(4, new)
+                assert np.array_equal(await router.read(4), new)
+
+        asyncio.run(go())
+
+    def test_concurrent_writes_same_lpn_serialize(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                payloads = [cluster.payload(seed) for seed in range(8)]
+                await asyncio.gather(
+                    *(router.write(3, data) for data in payloads)
+                )
+                final = await router.read(3)
+                # Some write won the race; the read must match one of
+                # them exactly (never interleave two writes' replicas).
+                assert any(
+                    np.array_equal(final, data) for data in payloads
+                )
+
+        asyncio.run(go())
+
+    def test_trim_is_replicated(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                await router.write(5, cluster.payload(5))
+                await router.trim(5)
+                # Trimmed pages read back as zeros, as on one device.
+                assert not np.any(await router.read(5))
+
+        asyncio.run(go())
+
+    def test_out_of_range_lpn_propagates(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=1) as cluster:
+                with pytest.raises(LogicalAddressError):
+                    await cluster.router.write(10**9, cluster.payload(0))
+
+        asyncio.run(go())
+
+
+class TestFailover:
+    def test_reads_survive_one_shard_death(self) -> None:
+        _metrics.set_enabled(True)  # counters only move while enabled
+
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                payloads = {lpn: cluster.payload(lpn) for lpn in range(12)}
+                for lpn, data in payloads.items():
+                    await router.write(lpn, data)
+                await cluster.services[0].stop()
+                for lpn, data in payloads.items():
+                    assert np.array_equal(await router.read(lpn), data)
+                assert router.shard_states[0] is ShardState.DOWN
+                assert _metrics.counter("cluster.failover_reads").value > 0
+
+        asyncio.run(go())
+
+    def test_writes_reroute_around_dead_shard(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                await cluster.services[1].stop()
+                payloads = {lpn: cluster.payload(lpn) for lpn in range(12)}
+                for lpn, data in payloads.items():
+                    await router.write(lpn, data)
+                for lpn, data in payloads.items():
+                    assert np.array_equal(await router.read(lpn), data)
+                    assert router._replicas[lpn] <= {0, 2}
+                    assert len(router._replicas[lpn]) == 2
+
+        asyncio.run(go())
+
+    def test_all_shards_down_raises_cluster_error(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                await router.write(1, cluster.payload(1))
+                for service in cluster.services.values():
+                    await service.stop()
+                with pytest.raises(ClusterError):
+                    await router.read(1)
+                with pytest.raises(ClusterError):
+                    await router.write(2, cluster.payload(2))
+
+        asyncio.run(go())
+
+    def test_read_only_shard_keeps_serving_reads(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                payloads = {lpn: cluster.payload(lpn) for lpn in range(8)}
+                for lpn, data in payloads.items():
+                    await router.write(lpn, data)
+                router.mark_read_only(0)
+                await router.rebuild_done()
+                # Writes avoid the read-only shard entirely...
+                for lpn in payloads:
+                    await router.write(lpn, cluster.payload(100 + lpn))
+                    assert 0 not in router._replicas[lpn]
+                # ...and reads have full redundancy on the survivors.
+                for lpn in payloads:
+                    assert np.array_equal(
+                        await router.read(lpn), cluster.payload(100 + lpn)
+                    )
+
+        asyncio.run(go())
+
+
+class TestRebuild:
+    def test_rebuild_restores_redundancy(self) -> None:
+        _metrics.set_enabled(True)  # counters only move while enabled
+
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                payloads = {lpn: cluster.payload(lpn) for lpn in range(12)}
+                for lpn, data in payloads.items():
+                    await router.write(lpn, data)
+                await cluster.services[2].stop()
+                router.mark_down(2)
+                await router.rebuild_done()
+                for lpn, data in payloads.items():
+                    holders = router._replicas[lpn]
+                    assert holders <= {0, 1} and len(holders) == 2
+                    assert np.array_equal(await router.read(lpn), data)
+                pages = _metrics.counter("cluster.rebuild_pages_copied")
+                assert pages.value > 0
+                assert (
+                    _metrics.counter("cluster.rebuilds_completed").value > 0
+                )
+
+        asyncio.run(go())
+
+    def test_rebuild_runs_concurrently_with_writes(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                for lpn in range(12):
+                    await router.write(lpn, cluster.payload(lpn))
+                await cluster.services[0].stop()
+                router.mark_down(0)  # rebuild starts in the background
+                finals = {}
+                for lpn in range(12):
+                    finals[lpn] = cluster.payload(500 + lpn)
+                    await router.write(lpn, finals[lpn])
+                await router.rebuild_done()
+                # The interleaved rebuild must never resurrect stale data.
+                for lpn, data in finals.items():
+                    assert np.array_equal(await router.read(lpn), data)
+
+        asyncio.run(go())
+
+    def test_degraded_write_counted_when_fleet_too_small(self) -> None:
+        _metrics.set_enabled(True)  # counters only move while enabled
+
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                await cluster.services[0].stop()
+                await cluster.services[1].stop()
+                await router.write(3, cluster.payload(3))  # one shard left
+                assert len(router._replicas[3]) == 1
+                assert (
+                    _metrics.counter("cluster.degraded_writes").value == 1
+                )
+                assert np.array_equal(
+                    await router.read(3), cluster.payload(3)
+                )
+
+        asyncio.run(go())
+
+
+class TestStat:
+    def test_stat_reports_per_shard_state(self) -> None:
+        async def go() -> None:
+            async with Cluster(redundancy=2) as cluster:
+                router = cluster.router
+                await router.write(0, cluster.payload(0))
+                await cluster.services[1].stop()
+                router.mark_down(1)
+                await router.rebuild_done()
+                stat = await router.stat()
+                assert stat["redundancy"] == 2
+                assert stat["shards"][1] == {"state": "down"}
+                assert stat["shards"][0]["state"] == "up"
+                assert stat["tracked_lpns"] == 1
+
+        asyncio.run(go())

@@ -5,8 +5,10 @@ from __future__ import annotations
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -50,6 +52,24 @@ class TestBenchCli:
         code = main(["bench", "--connect", "127.0.0.1:1",
                      "--connect-timeout", "0.2"])
         assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_connect_to_silent_server_exits_2(self, capsys) -> None:
+        """A port that accepts TCP but never speaks repro must not hang
+        the bench: the HELLO timeout surfaces as a clean exit 2."""
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(4)
+        try:
+            port = silent.getsockname()[1]
+            start = time.monotonic()
+            code = main(["bench", "--connect", f"127.0.0.1:{port}",
+                         "--connect-timeout", "0.3"])
+            elapsed = time.monotonic() - start
+        finally:
+            silent.close()
+        assert code == 2
+        assert elapsed < 10.0
         assert "error" in capsys.readouterr().err
 
     def test_metrics_out_written(self, tmp_path, capsys) -> None:
